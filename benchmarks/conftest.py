@@ -1,0 +1,30 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark module regenerates one table/figure of the paper and
+records the rendered text table here; the terminal summary prints them all
+so a single ``pytest benchmarks/ --benchmark-only`` run emits the full
+reproduction report.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_TABLES: List[str] = []
+
+
+def record_table(table: str) -> None:
+    _TABLES.append(table)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("REPRODUCED TABLES AND FIGURES")
+    terminalreporter.write_line("=" * 72)
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,219 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each ablation varies one mechanism of the TRIPS design and reports its
+effect, mirroring the "lessons learned" of Section 7:
+
+* instruction placement policy (locality scheduling vs naive) — the
+  paper's "re-map instructions so communication stays on-tile" lesson;
+* dispatch cost 8 vs 0 cycles — the paper found removing dispatch delay
+  buys only ~10% on real hardware;
+* block window depth (speculative blocks in flight);
+* next-block predictor scaling (prototype vs 9 KB target predictor);
+* hyperblock formation on/off (basic-block code).
+"""
+
+from benchmarks.conftest import record_table
+from repro.eval import SHARED_RUNNER, format_table
+from repro.opt import optimize
+from repro.trips import lower_module
+from repro.uarch import TripsConfig, run_cycles
+
+_BENCH = "matrix"
+_BRANCHY = "a2time"
+
+
+def test_ablation_placement_policy(benchmark):
+    def run():
+        module = optimize(SHARED_RUNNER.module(_BENCH), "O2")
+        rows = []
+        for policy in ("sps", "round_robin", "random"):
+            lowered = lower_module(module, placement_policy=policy)
+            _, sim = run_cycles(lowered)
+            rows.append([policy, sim.stats.cycles,
+                         sim.opn.stats.average_hops(), sim.stats.ipc])
+        return format_table(
+            "Ablation: instruction placement policy (matrix)",
+            ["Policy", "Cycles", "avg OPN hops", "IPC"], rows,
+            "Paper lesson: placement locality drives OPN traffic, the top "
+            "microarchitectural loss.")
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table)
+    assert "sps" in table
+
+
+def test_ablation_dispatch_cost(benchmark):
+    def run():
+        lowered = SHARED_RUNNER.trips_lowered(_BENCH)
+        rows = []
+        for cost in (0, 3, 8):
+            config = TripsConfig()
+            config.fetch_to_dispatch_cycles = cost
+            _, sim = run_cycles(lowered, config=config)
+            rows.append([cost, sim.stats.cycles, sim.stats.ipc])
+        base = rows[-1][1]
+        gain = 100.0 * (base - rows[0][1]) / base
+        return format_table(
+            "Ablation: fetch-to-dispatch cost (matrix)",
+            ["Cycles cost", "Total cycles", "IPC"], rows,
+            f"Zeroing dispatch buys {gain:.1f}% (paper: ~10% on hardware).")
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table)
+    assert "Ablation" in table
+
+
+def test_ablation_block_window(benchmark):
+    def run():
+        lowered = SHARED_RUNNER.trips_lowered(_BENCH)
+        rows = []
+        for slots in (1, 2, 4, 8):
+            config = TripsConfig()
+            config.max_blocks_in_flight = slots
+            _, sim = run_cycles(lowered, config=config)
+            rows.append([slots, sim.stats.cycles,
+                         sim.stats.avg_instructions_in_window, sim.stats.ipc])
+        return format_table(
+            "Ablation: speculative block window depth (matrix)",
+            ["Blocks in flight", "Cycles", "window", "IPC"], rows,
+            "The 8-deep block window is what fills hundreds of window "
+            "slots (Figure 6).")
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table)
+    assert "window" in table
+
+
+def test_ablation_formation(benchmark):
+    def run():
+        module = optimize(SHARED_RUNNER.module(_BRANCHY), "O2")
+        rows = []
+        for formation in ("basic", "hyper"):
+            lowered = lower_module(module, formation=formation)
+            _, sim = run_cycles(lowered)
+            blocks = sim.stats.blocks_committed
+            rows.append([formation, sim.stats.cycles, blocks,
+                         sim.stats.fetched / max(blocks, 1), sim.stats.ipc])
+        return format_table(
+            "Ablation: hyperblock formation (a2time)",
+            ["Formation", "Cycles", "Blocks", "avg block", "IPC"], rows,
+            "Hyperblocks amortize per-block overheads and predictions "
+            "(Section 4.1).")
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table)
+    assert "hyper" in table
+
+
+def test_ablation_predictor_scaling(benchmark):
+    def run():
+        from repro.eval.experiments import _run_trips_predictor
+        from repro.uarch import improved_predictor_config
+        rows = []
+        # Benchmarks with enough distinct block targets for the target
+        # predictor's capacity to matter (the Section 7 call/return and
+        # BTB sizing lesson).
+        for name in ("vortex", "gcc", "mesa", "bzip2"):
+            trace = SHARED_RUNNER.block_trace(name, "hyper")
+            useful = max(SHARED_RUNNER.trips_functional(name).useful, 1)
+            _, base_miss = _run_trips_predictor(trace, TripsConfig())
+            _, big_miss = _run_trips_predictor(
+                trace, improved_predictor_config())
+            rows.append([name, 1000.0 * base_miss / useful,
+                         1000.0 * big_miss / useful])
+        return format_table(
+            "Ablation: target-predictor scaling (5 KB -> 9 KB)",
+            ["Benchmark", "prototype MPKI", "scaled MPKI"], rows,
+            "The paper's config I cuts SPEC INT MPKI by ~19%; at proxy "
+            "scale the gain concentrates in target-heavy benchmarks.")
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table)
+    assert "MPKI" in table
+
+
+def test_ablation_predicate_prediction(benchmark):
+    """Section 7 lesson: "future EDGE microarchitectures must support
+    predicate prediction"."""
+    def run():
+        rows = []
+        for name in ("a2time", "8b10b", "gcc"):
+            lowered = SHARED_RUNNER.trips_lowered(name)
+            _, base = run_cycles(lowered)
+            config = TripsConfig()
+            config.predicate_prediction = True
+            _, pred = run_cycles(lowered, config=config)
+            gain = 100.0 * (base.stats.cycles - pred.stats.cycles) \
+                / base.stats.cycles
+            rows.append([name, base.stats.cycles, pred.stats.cycles,
+                         f"{gain:.1f}%",
+                         pred.stats.predicate_mispredictions])
+        return format_table(
+            "Ablation: predicate prediction (Section 7 extension)",
+            ["Benchmark", "prototype", "with pred. prediction", "gain",
+             "pred mispredicts"], rows,
+            "The paper: \"performance losses due to the evaluation of "
+            "predicate arcs was occasionally high\".")
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table)
+    assert "prediction" in table
+
+
+def test_ablation_variable_size_blocks(benchmark):
+    """Section 7 lesson: variable-sized blocks + 32-byte headers in the
+    I-cache remove the NOP bloat.
+
+    Proxy code footprints are ~100x smaller than SPEC's, so the I-cache
+    is scaled down proportionally (80 KB -> 256 B) to recreate the
+    capacity pressure Section 4.4 measures on the real workloads.
+    """
+    def run():
+        rows = []
+        for name in ("perlbmk", "parser", "gcc"):
+            lowered = SHARED_RUNNER.trips_lowered(name)
+            fixed = TripsConfig()
+            fixed.l1i_bytes = 256
+            _, base = run_cycles(lowered, config=fixed)
+            var_cfg = TripsConfig()
+            var_cfg.l1i_bytes = 256
+            var_cfg.variable_size_blocks = True
+            _, var = run_cycles(lowered, config=var_cfg)
+            rows.append([name, base.stats.cycles, base.stats.icache_misses,
+                         var.stats.cycles, var.stats.icache_misses])
+        return format_table(
+            "Ablation: variable-sized blocks in a pressured I-cache "
+            "(Section 7)",
+            ["Benchmark", "fixed cycles", "fixed I$ miss",
+             "variable cycles", "variable I$ miss"], rows,
+            "Smaller encodings relieve the I-cache pressure Section 4.4 "
+            "measures (cache scaled to proxy footprints).")
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table)
+    assert "variable" in table
+
+
+def test_ablation_composable_grid(benchmark):
+    """Section 7 future work: adaptive granularity ("more efficient small
+    configurations when larger configurations provide little benefit",
+    citing Composable Lightweight Processors)."""
+    def run():
+        module = optimize(SHARED_RUNNER.module(_BENCH), "O2")
+        rows = []
+        for grid in (2, 4, 8):
+            lowered = lower_module(module, grid=grid)
+            config = TripsConfig()
+            config.ets_per_side = grid
+            _, sim = run_cycles(lowered, config=config)
+            rows.append([f"{grid}x{grid}", sim.stats.cycles, sim.stats.ipc,
+                         sim.opn.stats.average_hops()])
+        return format_table(
+            "Ablation: composable execution-array size (matrix)",
+            ["Grid", "Cycles", "IPC", "avg OPN hops"], rows,
+            "Smaller arrays trade issue width for operand locality — the "
+            "adaptive-granularity argument of Section 7.")
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table)
+    assert "4x4" in table

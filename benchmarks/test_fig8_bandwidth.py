@@ -1,0 +1,18 @@
+"""Regenerates Figure 8: memory bandwidth (paper experiment 'fig8a').
+
+Run with ``pytest benchmarks/test_fig8_bandwidth.py --benchmark-only``.  The
+benchmark measures the wall time of regenerating the experiment from the
+shared (memoized) runner; the rendered table is printed in the terminal
+summary and asserted non-empty.
+"""
+
+from benchmarks.conftest import record_table
+from repro.eval import run_experiment
+
+
+def test_fig8_bandwidth(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("fig8a"), rounds=1, iterations=1)
+    record_table(table)
+    assert table.splitlines()[0].strip()
+    assert len(table.splitlines()) > 4

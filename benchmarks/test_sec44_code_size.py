@@ -1,0 +1,18 @@
+"""Regenerates Section 4.4: code size (paper experiment 'sec44').
+
+Run with ``pytest benchmarks/test_sec44_code_size.py --benchmark-only``.  The
+benchmark measures the wall time of regenerating the experiment from the
+shared (memoized) runner; the rendered table is printed in the terminal
+summary and asserted non-empty.
+"""
+
+from benchmarks.conftest import record_table
+from repro.eval import run_experiment
+
+
+def test_sec44_code_size(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("sec44"), rounds=1, iterations=1)
+    record_table(table)
+    assert table.splitlines()[0].strip()
+    assert len(table.splitlines()) > 4

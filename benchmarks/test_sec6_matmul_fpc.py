@@ -1,0 +1,18 @@
+"""Regenerates Section 6: matmul FPC (paper experiment 'sec6').
+
+Run with ``pytest benchmarks/test_sec6_matmul_fpc.py --benchmark-only``.  The
+benchmark measures the wall time of regenerating the experiment from the
+shared (memoized) runner; the rendered table is printed in the terminal
+summary and asserted non-empty.
+"""
+
+from benchmarks.conftest import record_table
+from repro.eval import run_experiment
+
+
+def test_sec6_matmul_fpc(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("sec6"), rounds=1, iterations=1)
+    record_table(table)
+    assert table.splitlines()[0].strip()
+    assert len(table.splitlines()) > 4

@@ -1,0 +1,18 @@
+"""Regenerates Table 3: SPEC counters (paper experiment 'table3').
+
+Run with ``pytest benchmarks/test_table3_counters.py --benchmark-only``.  The
+benchmark measures the wall time of regenerating the experiment from the
+shared (memoized) runner; the rendered table is printed in the terminal
+summary and asserted non-empty.
+"""
+
+from benchmarks.conftest import record_table
+from repro.eval import run_experiment
+
+
+def test_table3_counters(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("table3"), rounds=1, iterations=1)
+    record_table(table)
+    assert table.splitlines()[0].strip()
+    assert len(table.splitlines()) > 4

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Matrix-multiply case study (Section 6 of the paper).
+
+Sweeps the optimization levels the paper compares — compiled (gcc-class),
+icc-class, and hand-optimized — over the dense matrix-multiply kernel, on
+TRIPS and on the three reference platforms, and reports cycles, IPC, and
+FLOPS per cycle, ending with the paper's published GotoBLAS comparison.
+
+Run:  python examples/matmul_study.py
+"""
+
+from repro.bench import get
+from repro.ir import run_module
+from repro.opt import optimize
+from repro.refmodels import PLATFORMS, PUBLISHED_MATMUL_FPC, run_platform
+from repro.trips import lower_module, run_trips
+from repro.uarch import run_cycles
+
+
+def main() -> None:
+    bench = get("matrix")
+    module = bench.module()
+    golden = run_module(module)[0]
+    n = 20
+    flops = 2 * n * n * n
+
+    print(f"matrix: {n}x{n}x{n} dense multiply, {flops} flops, "
+          f"checksum {golden}")
+    print()
+    print(f"{'configuration':28s} {'cycles':>9s} {'IPC':>6s} {'FPC':>6s}")
+    print("-" * 55)
+
+    for level, label in (("O2", "TRIPS compiled (gcc-class)"),
+                         ("ICC", "TRIPS icc-class"),
+                         ("HAND", "TRIPS hand-optimized")):
+        lowered = lower_module(optimize(module, level))
+        result, sim = run_cycles(lowered)
+        assert result == golden
+        fpc = flops / sim.stats.cycles
+        print(f"{label:28s} {sim.stats.cycles:9d} {sim.stats.ipc:6.2f} "
+              f"{fpc:6.2f}")
+
+    for key in ("core2", "p4", "p3"):
+        spec = PLATFORMS[key]
+        for level, tag in (("O2", "gcc"), ("ICC", "icc")):
+            result, stats = run_platform(module, spec, level)
+            assert result == golden
+            fpc = flops / stats.cycles
+            print(f"{spec.name + ' ' + tag:28s} {stats.cycles:9d} "
+                  f"{stats.ipc:6.2f} {fpc:6.2f}")
+
+    print()
+    print("Published hand-tuned library results the paper quotes "
+          "(GotoBLAS / SSE):")
+    for platform, value in PUBLISHED_MATMUL_FPC.items():
+        print(f"  {platform:20s} {value:.2f} FLOPS/cycle")
+    print()
+    print("Paper's claim: TRIPS reaches 5.20 FPC without SIMD, 40% above "
+          "the best Core 2 SSE code (Section 6).")
+
+
+if __name__ == "__main__":
+    main()

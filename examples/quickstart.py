@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: write a program, compile it for TRIPS, and run it on every
+simulator in the stack.
+
+The flow mirrors how the repository reproduces the paper:
+
+1. author a program in the machine-independent IR,
+2. optimize it with a named pipeline ("O2" plays gcc, "HAND" plays the
+   paper's hand optimization),
+3. lower it to TRIPS blocks (hyperblock formation -> dataflow conversion
+   -> placement) and to the RISC baseline,
+4. execute it on the interpreter (golden model), the TRIPS functional and
+   cycle-level simulators, and the Core 2 reference model,
+5. read the paper's headline statistics off the runs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.ir import Builder, Type, run_module
+from repro.opt import optimize
+from repro.refmodels import CORE2, run_platform
+from repro.risc import lower_module as lower_risc, run_program
+from repro.trips import lower_module as lower_trips, run_trips
+from repro.uarch import run_cycles
+
+
+def build_dot_product(n: int = 128):
+    """c = sum(a[i] * b[i]) over two float vectors."""
+    b = Builder()
+    import struct
+    init = b"".join(struct.pack("<d", (i * 7 % 13) / 13.0) for i in range(n))
+    vec_a = b.global_array("vec_a", n, 8, init)
+    vec_b = b.global_array("vec_b", n, 8, init)
+    b.function("main", return_type=Type.I64)
+    acc = b.mov(0.0, "acc")
+    with b.loop(0, n) as i:
+        offset = b.shl(i, 3)
+        x = b.fload(b.add(vec_a, offset))
+        y = b.fload(b.add(vec_b, offset))
+        b.assign(acc, b.fadd(acc, b.fmul(x, y)))
+    b.ret(b.f2i(b.fmul(acc, 1000.0)))  # integer checksum
+    return b.module
+
+
+def main() -> None:
+    module = build_dot_product()
+
+    golden, interp = run_module(module)
+    print(f"interpreter (golden model): {golden} "
+          f"({interp.stats.executed} IR instructions)")
+
+    optimized = optimize(module, "O2")
+
+    risc_program = lower_risc(optimized)
+    risc_result, risc_sim = run_program(risc_program)
+    assert risc_result == golden
+    print(f"RISC ('PowerPC') baseline:  {risc_result} "
+          f"({risc_sim.stats.executed} instructions, "
+          f"{risc_sim.stats.loads + risc_sim.stats.stores} memory accesses)")
+
+    lowered = lower_trips(optimized)
+    trips_result, trips_sim = run_trips(lowered.program)
+    assert trips_result == golden
+    stats = trips_sim.stats
+    print(f"TRIPS functional:           {trips_result} "
+          f"(avg block {stats.fetched / stats.blocks_committed:.1f} "
+          f"instructions, {stats.moves_executed} fanout moves)")
+
+    cycle_result, cycle_sim = run_cycles(lowered)
+    assert cycle_result == golden
+    print(f"TRIPS cycle-level:          {cycle_result} "
+          f"({cycle_sim.stats.cycles} cycles, IPC {cycle_sim.stats.ipc:.2f}, "
+          f"{cycle_sim.stats.avg_instructions_in_window:.0f} instructions "
+          f"in flight)")
+
+    core2_result, core2_stats = run_platform(module, CORE2, "O2")
+    assert core2_result == golden
+    print(f"Core 2 reference model:     {core2_result} "
+          f"({core2_stats.cycles} cycles, IPC {core2_stats.ipc:.2f})")
+
+    speedup = core2_stats.cycles / cycle_sim.stats.cycles
+    print(f"\nTRIPS speedup over Core 2 (cycles): {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — enumerate the benchmark suites (Table 2).
+* ``run BENCH`` — compile and execute one benchmark on a chosen system
+  (``--system interp|risc|trips|cycles|ideal|core2|p4|p3``) and print its
+  statistics.
+* ``asm BENCH`` — print the compiled TRIPS assembly (``--block`` to pick
+  one block).
+* ``report EXPERIMENT`` — regenerate a paper table/figure by key
+  (``report --list`` shows the keys; ``report all`` runs everything).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.bench import all_benchmarks
+    rows = sorted(all_benchmarks(), key=lambda b: (b.suite, b.name))
+    current = None
+    for bench in rows:
+        if bench.suite != current:
+            current = bench.suite
+            print(f"\n{current}")
+            print("-" * len(current))
+        hand = " [+hand]" if bench.has_hand else ""
+        print(f"  {bench.name:14s} {bench.description}{hand}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.eval.runner import Runner
+
+    runner = Runner()
+    name = args.benchmark
+    variant = args.variant
+    system = args.system
+    golden = runner.expected(name)
+    print(f"{name} ({system}, {variant}): golden checksum {golden}")
+
+    if system == "interp":
+        from repro.ir import run_module
+        result, interp = run_module(runner.module(name))
+        print(f"result {result}; {interp.stats.executed} IR instructions, "
+              f"{interp.stats.loads} loads, {interp.stats.stores} stores")
+    elif system == "risc":
+        stats = runner.powerpc(name)
+        print(f"{stats.executed} instructions "
+              f"({stats.loads} loads, {stats.stores} stores, "
+              f"{stats.register_reads}+{stats.register_writes} register "
+              f"accesses)")
+    elif system == "trips":
+        stats = runner.trips_functional(name, variant)
+        blocks = max(stats.blocks_committed, 1)
+        print(f"{stats.blocks_committed} blocks, avg size "
+              f"{stats.fetched / blocks:.1f}; fetched {stats.fetched}, "
+              f"executed {stats.executed}, useful {stats.useful}, "
+              f"moves {stats.moves_executed}, mispredicated "
+              f"{stats.fetched_not_executed}")
+    elif system == "cycles":
+        stats, sim = runner.trips_cycles(name, variant)
+        print(f"{stats.cycles} cycles, IPC {stats.ipc:.2f} "
+              f"(useful {stats.useful_ipc:.2f}); "
+              f"{stats.avg_instructions_in_window:.0f} instructions in "
+              f"flight; {sim.opn.stats.average_hops():.2f} avg OPN hops; "
+              f"{stats.branch_mispredictions} branch mispredictions, "
+              f"{stats.icache_misses} I-cache misses, "
+              f"{stats.load_flushes} load flushes")
+    elif system == "ideal":
+        stats = runner.ideal(name, variant)
+        big = runner.ideal(name, variant, window=128 * 1024, dispatch_cost=0)
+        print(f"ideal 1K/8-cycle dispatch: {stats.cycles} cycles, "
+              f"IPC {stats.ipc:.2f}; ideal 128K/0: IPC {big.ipc:.2f}")
+    elif system in ("core2", "p4", "p3"):
+        level = "ICC" if args.icc else "O2"
+        stats = runner.platform(name, system, level)
+        print(f"{stats.cycles} cycles, IPC {stats.ipc:.2f}, "
+              f"{stats.branch_mispredictions} branch mispredictions "
+              f"({level})")
+    else:
+        print(f"unknown system {system!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_asm(args) -> int:
+    from repro.eval.runner import Runner
+    from repro.isa import format_block, format_program
+
+    runner = Runner()
+    lowered = runner.trips_lowered(args.benchmark, args.variant)
+    if args.block:
+        for block in lowered.program.all_blocks():
+            if block.label == args.block:
+                print(format_block(block))
+                return 0
+        print(f"no block named {args.block!r}", file=sys.stderr)
+        return 2
+    print(format_program(lowered.program))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.eval import experiment_names, run_experiment
+
+    if args.list:
+        for key in experiment_names():
+            print(key)
+        return 0
+    keys = experiment_names() if args.experiment == "all" \
+        else [args.experiment]
+    for key in keys:
+        print(run_experiment(key))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TRIPS computer system reproduction (ASPLOS 2009)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suites")
+
+    run_p = sub.add_parser("run", help="run one benchmark on one system")
+    run_p.add_argument("benchmark")
+    run_p.add_argument("--system", default="cycles",
+                       choices=["interp", "risc", "trips", "cycles",
+                                "ideal", "core2", "p4", "p3"])
+    run_p.add_argument("--variant", default="compiled",
+                       choices=["compiled", "hand"])
+    run_p.add_argument("--icc", action="store_true",
+                       help="use the icc-class optimizer on Intel models")
+
+    asm_p = sub.add_parser("asm", help="print compiled TRIPS assembly")
+    asm_p.add_argument("benchmark")
+    asm_p.add_argument("--variant", default="compiled",
+                       choices=["compiled", "hand"])
+    asm_p.add_argument("--block", default="",
+                       help="print only the named block")
+
+    report_p = sub.add_parser("report",
+                              help="regenerate a paper table/figure")
+    report_p.add_argument("experiment", nargs="?", default="table1")
+    report_p.add_argument("--list", action="store_true",
+                          help="list experiment keys")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"list": _cmd_list, "run": _cmd_run,
+               "asm": _cmd_asm, "report": _cmd_report}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

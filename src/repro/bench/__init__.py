@@ -1,0 +1,16 @@
+"""Benchmark suites (Table 2): kernels, VersaBench, EEMBC, SPEC proxies."""
+
+from repro.bench.suites import (
+    Benchmark, SIMPLE_BENCHMARKS, all_benchmarks, by_suite, get,
+    simple_benchmarks, suite_names,
+)
+
+__all__ = [
+    "Benchmark",
+    "SIMPLE_BENCHMARKS",
+    "all_benchmarks",
+    "by_suite",
+    "get",
+    "simple_benchmarks",
+    "suite_names",
+]

@@ -1,0 +1,663 @@
+"""EEMBC embedded benchmark subset.
+
+Includes all eight programs named in the paper's figures (a2time, rspeed,
+ospf, routelookup, autocor, conven, fbital, fft) plus four more covering
+the automotive/telecom/networking categories (idct, crc, tblook, viterbi-
+style decode).  Each preserves the original workload's control/data
+character at simulator scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench._util import Lcg, addr, init_f64, init_i64
+from repro.bench.suites import register
+from repro.ir.builder import Builder
+from repro.ir.function import Module
+from repro.ir.types import Type
+
+
+@register("a2time", "eembc", "angle-to-time: nested if/then/else ladders")
+def build_a2time() -> Module:
+    n = 256
+    rng = Lcg(41)
+    b = Builder()
+    angles = b.global_array("angles", n, 8,
+                            init_i64(rng.below(720) for _ in range(n)))
+    table = b.global_array("table", 90, 8,
+                           init_i64((k * k + 3) & 0xFFFF for k in range(90)))
+    out = b.global_array("out", n, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, n) as i:
+        angle = b.load(addr(b, angles, i))
+        # Quadrant folding: several nested if/else arms, as in the EEMBC
+        # kernel the paper highlights for heavy predication.
+        wrapped = b.rem(angle, 360)
+        q2 = b.ge(wrapped, 180)
+        with b.if_then_else(q2) as (then, otherwise):
+            with then:
+                folded = b.sub(wrapped, 180)
+                hi = b.ge(folded, 90)
+                with b.if_then_else(hi) as (t2, o2):
+                    with t2:
+                        v = b.load(addr(b, table, b.sub(179, folded)))
+                        b.store(b.add(v, 1000), addr(b, out, i))
+                    with o2:
+                        v = b.load(addr(b, table, folded))
+                        b.store(b.add(v, 2000), addr(b, out, i))
+            with otherwise:
+                hi = b.ge(wrapped, 90)
+                with b.if_then_else(hi) as (t2, o2):
+                    with t2:
+                        v = b.load(addr(b, table, b.sub(179, wrapped)))
+                        b.store(b.add(v, 3000), addr(b, out, i))
+                    with o2:
+                        v = b.load(addr(b, table, wrapped))
+                        b.store(v, addr(b, out, i))
+    check = b.mov(0)
+    with b.loop(0, n) as i:
+        b.assign(check, b.add(check, b.load(addr(b, out, i))))
+    b.ret(check)
+    return b.module
+
+
+@register("rspeed", "eembc", "road speed: sequential pulse-interval math")
+def build_rspeed() -> Module:
+    n = 200
+    rng = Lcg(43)
+    b = Builder()
+    pulses = b.global_array("pulses", n, 8,
+                            init_i64(100 + rng.below(900)
+                                     for _ in range(n)))
+    b.function("main", return_type=Type.I64)
+    speed = b.mov(0)
+    filtered = b.mov(500)
+    check = b.mov(0)
+    with b.loop(0, n) as i:
+        interval = b.load(addr(b, pulses, i))
+        # Exponential filter then divide: inherently serial chain.
+        b.assign(filtered, b.div(b.add(b.mul(filtered, 7), interval), 8))
+        b.assign(speed, b.div(3_600_000, filtered))
+        over = b.gt(speed, 6000)
+        with b.if_then(over):
+            b.assign(speed, 6000)
+        b.assign(check, b.add(check, speed))
+    b.ret(check)
+    return b.module
+
+
+@register("ospf", "eembc", "Dijkstra shortest path over a small graph")
+def build_ospf() -> Module:
+    nodes = 24
+    rng = Lcg(47)
+    weights = []
+    for i in range(nodes):
+        for j in range(nodes):
+            if i == j:
+                weights.append(0)
+            elif (i + j) % 3 == 0 or rng.below(4) == 0:
+                weights.append(1 + rng.below(30))
+            else:
+                weights.append(1 << 20)  # no edge
+    b = Builder()
+    w = b.global_array("w", nodes * nodes, 8, init_i64(weights))
+    dist = b.global_array("dist", nodes, 8)
+    visited = b.global_array("visited", nodes, 8)
+    b.function("main", return_type=Type.I64)
+    inf = 1 << 21
+    with b.loop(0, nodes) as i:
+        b.store(inf, addr(b, dist, i))
+        b.store(0, addr(b, visited, i))
+    b.store(0, addr(b, dist, 0))
+    with b.loop(0, nodes) as _round:
+        # Select the unvisited node with minimum distance.
+        best = b.mov(-1)
+        best_d = b.mov(inf + 1)
+        with b.loop(0, nodes) as i:
+            seen = b.load(addr(b, visited, i))
+            d = b.load(addr(b, dist, i))
+            c = b.and_(b.eq(seen, 0), b.lt(d, best_d))
+            with b.if_then(c):
+                b.assign(best, i)
+                b.assign(best_d, d)
+        found = b.ge(best, 0)
+        with b.if_then(found):
+            b.store(1, addr(b, visited, best))
+            with b.loop(0, nodes) as j:
+                edge = b.load(addr(b, w, b.add(b.mul(best, nodes), j)))
+                cand = b.add(best_d, edge)
+                dj = b.load(addr(b, dist, j))
+                closer = b.lt(cand, dj)
+                with b.if_then(closer):
+                    b.store(cand, addr(b, dist, j))
+    check = b.mov(0)
+    with b.loop(0, nodes) as i:
+        d = b.load(addr(b, dist, i))
+        capped = b.mov(0)
+        small = b.lt(d, inf)
+        with b.if_then(small):
+            b.assign(capped, d)
+        b.assign(check, b.add(check, capped))
+    b.ret(check)
+    return b.module
+
+
+@register("routelookup", "eembc", "binary-trie route lookups (serial)")
+def build_routelookup() -> Module:
+    # Trie nodes: [left, right, prefix] triples; built host-side.
+    rng = Lcg(53)
+    nodes = [[0, 0, 0]]
+    for _ in range(120):
+        key = rng.below(1 << 16)
+        cur = 0
+        for depth in range(15, 7, -1):
+            bit = (key >> depth) & 1
+            nxt = nodes[cur][bit]
+            if nxt == 0:
+                nodes.append([0, 0, 0])
+                nxt = len(nodes) - 1
+                nodes[cur][bit] = nxt
+            cur = nxt
+        nodes[cur][2] = key & 0xFF | 1
+    flat = []
+    for left, right, prefix in nodes:
+        flat += [left, right, prefix]
+    queries = [rng.below(1 << 16) for _ in range(256)]
+
+    b = Builder()
+    trie = b.global_array("trie", len(flat), 8, init_i64(flat))
+    qarr = b.global_array("queries", len(queries), 8, init_i64(queries))
+    b.function("main", return_type=Type.I64)
+    check = b.mov(0)
+    with b.loop(0, len(queries)) as qi:
+        key = b.load(addr(b, qarr, qi))
+        cur = b.mov(0)
+        result = b.mov(0)
+        with b.loop(15, 7, -1, name="depth") as depth:
+            bit = b.and_(b.shr(key, depth), 1)
+            base = b.mul(cur, 3)
+            child = b.load(addr(b, trie, b.add(base, bit)))
+            prefix = b.load(addr(b, trie, b.add(base, 2)))
+            has_prefix = b.ne(prefix, 0)
+            with b.if_then(has_prefix):
+                b.assign(result, prefix)
+            alive = b.ne(child, 0)
+            with b.if_then_else(alive) as (then, otherwise):
+                with then:
+                    b.assign(cur, child)
+                with otherwise:
+                    b.assign(cur, 0)
+        # The longest prefix lives on the leaf reached after the last step.
+        leaf_prefix = b.load(addr(b, trie, b.add(b.mul(cur, 3), 2)))
+        with b.if_then(b.ne(leaf_prefix, 0)):
+            b.assign(result, leaf_prefix)
+        b.assign(check, b.add(check, result))
+    b.ret(check)
+    return b.module
+
+
+@register("autocor", "eembc", "fixed-point autocorrelation")
+def build_autocor() -> Module:
+    n = 256
+    lags = 16
+    rng = Lcg(59)
+    b = Builder()
+    x = b.global_array("x", n, 8,
+                       init_i64(rng.below(4096) - 2048 for _ in range(n)))
+    r = b.global_array("r", lags, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, lags) as lag:
+        acc = b.mov(0)
+        with b.loop(0, n - lags) as i:
+            a = b.load(addr(b, x, i))
+            c = b.load(addr(b, x, b.add(i, lag)))
+            b.assign(acc, b.add(acc, b.mul(a, c)))
+        b.store(b.sra(acc, 8), addr(b, r, lag))
+    check = b.mov(0)
+    with b.loop(0, lags) as lag:
+        b.assign(check, b.xor(check, b.load(addr(b, r, lag))))
+    b.ret(check)
+    return b.module
+
+
+@register("conven", "eembc", "convolutional encoder (telecom)")
+def build_conven() -> Module:
+    n = 400
+    rng = Lcg(61)
+    b = Builder()
+    bits = b.global_array("bits", n, 8,
+                          init_i64(rng.below(2) for _ in range(n)))
+    b.function("main", return_type=Type.I64)
+    state = b.mov(0)
+    check = b.mov(0)
+    with b.loop(0, n) as i:
+        bit = b.load(addr(b, bits, i))
+        b.assign(state, b.and_(b.or_(b.shl(state, 1), bit), 0x1F))
+        g0 = b.xor(b.xor(b.and_(state, 1), b.and_(b.shr(state, 2), 1)),
+                   b.and_(b.shr(state, 4), 1))
+        g1 = b.xor(b.xor(b.and_(b.shr(state, 1), 1),
+                         b.and_(b.shr(state, 3), 1)),
+                   b.and_(b.shr(state, 4), 1))
+        sym = b.or_(b.shl(g0, 1), g1)
+        b.assign(check, b.and_(b.add(b.mul(check, 7), sym), 0xFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("fbital", "eembc", "bit allocation by iterative waterfilling")
+def build_fbital() -> Module:
+    carriers = 64
+    rng = Lcg(67)
+    b = Builder()
+    snr = b.global_array("snr", carriers, 8,
+                         init_i64(rng.below(60) + 4 for _ in range(carriers)))
+    alloc = b.global_array("alloc", carriers, 8)
+    b.function("main", return_type=Type.I64)
+    budget = b.mov(300)
+    with b.loop(0, carriers) as i:
+        b.store(0, addr(b, alloc, i))
+    # Greedy rounds: give a bit to every carrier whose margin allows it.
+    with b.loop(0, 10, name="round") as _r:
+        with b.loop(0, carriers) as i:
+            have = b.load(addr(b, alloc, i))
+            quality = b.load(addr(b, snr, i))
+            cost = b.add(b.mul(have, 6), 4)
+            ok = b.and_(b.le(cost, quality), b.gt(budget, 0))
+            with b.if_then(ok):
+                b.store(b.add(have, 1), addr(b, alloc, i))
+                b.assign(budget, b.sub(budget, 1))
+    check = b.mov(0)
+    with b.loop(0, carriers) as i:
+        bits_i = b.load(addr(b, alloc, i))
+        b.assign(check, b.add(b.mul(check, 3), bits_i))
+        b.assign(check, b.and_(check, 0xFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("fft", "eembc", "64-point iterative radix-2 FFT")
+def build_fft() -> Module:
+    n = 64
+    rng = Lcg(71)
+    # Twiddle tables computed host-side.
+    wr = [math.cos(-2 * math.pi * k / n) for k in range(n // 2)]
+    wi = [math.sin(-2 * math.pi * k / n) for k in range(n // 2)]
+    # Bit-reversed input order precomputed host-side.
+    def bitrev(v, bits):
+        out = 0
+        for _ in range(bits):
+            out = (out << 1) | (v & 1)
+            v >>= 1
+        return out
+    data = [rng.float01() - 0.5 for _ in range(n)]
+    reordered = [data[bitrev(k, 6)] for k in range(n)]
+
+    b = Builder()
+    re = b.global_array("re", n, 8, init_f64(reordered))
+    im = b.global_array("im", n, 8, init_f64([0.0] * n))
+    twr = b.global_array("twr", n // 2, 8, init_f64(wr))
+    twi = b.global_array("twi", n // 2, 8, init_f64(wi))
+    b.function("main", return_type=Type.I64)
+    size = b.mov(2)
+    with b.loop(0, 6, name="stage") as _stage:
+        half = b.div(size, 2)
+        step = b.div(n, size)
+        with b.loop(0, n, name="base") as base:
+            inside = b.lt(b.rem(base, size), half)
+            with b.if_then(inside):
+                k = b.mul(b.rem(base, size), step)
+                mate = b.add(base, half)
+                wr_v = b.fload(addr(b, twr, k))
+                wi_v = b.fload(addr(b, twi, k))
+                ar = b.fload(addr(b, re, base))
+                ai = b.fload(addr(b, im, base))
+                br_ = b.fload(addr(b, re, mate))
+                bi_ = b.fload(addr(b, im, mate))
+                tr = b.fsub(b.fmul(br_, wr_v), b.fmul(bi_, wi_v))
+                ti = b.fadd(b.fmul(br_, wi_v), b.fmul(bi_, wr_v))
+                b.fstore(b.fadd(ar, tr), addr(b, re, base))
+                b.fstore(b.fadd(ai, ti), addr(b, im, base))
+                b.fstore(b.fsub(ar, tr), addr(b, re, mate))
+                b.fstore(b.fsub(ai, ti), addr(b, im, mate))
+        b.assign(size, b.mul(size, 2))
+    power = b.mov(0.0)
+    with b.loop(0, n) as i:
+        r_v = b.fload(addr(b, re, i))
+        i_v = b.fload(addr(b, im, i))
+        b.assign(power, b.fadd(power, b.fadd(b.fmul(r_v, r_v),
+                                             b.fmul(i_v, i_v))))
+    b.ret(b.f2i(b.fmul(power, 1024.0)))
+    return b.module
+
+
+@register("idct", "eembc", "8x8 integer IDCT (consumer)", has_hand=True)
+def build_idct() -> Module:
+    rng = Lcg(73)
+    blocks = 8
+    b = Builder()
+    src = b.global_array("src", blocks * 64, 8,
+                         init_i64(rng.below(512) - 256
+                                  for _ in range(blocks * 64)))
+    dst = b.global_array("dst", blocks * 64, 8)
+    cos_t = b.global_array("cos_t", 64, 8,
+                           init_i64(int(1024 * math.cos((2 * x + 1) * u
+                                                        * math.pi / 16))
+                                    for u in range(8) for x in range(8)))
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, blocks) as blk:
+        base = b.mul(blk, 64)
+        with b.loop(0, 8) as x:
+            with b.loop(0, 8) as y:
+                acc = b.mov(0)
+                with b.loop(0, 8) as u:
+                    coef = b.load(addr(b, src, b.add(base,
+                                                     b.add(b.mul(u, 8), y))))
+                    cv = b.load(addr(b, cos_t, b.add(b.mul(u, 8), x)))
+                    b.assign(acc, b.add(acc, b.mul(coef, cv)))
+                b.store(b.sra(acc, 10),
+                        addr(b, dst, b.add(base, b.add(b.mul(x, 8), y))))
+    check = b.mov(0)
+    with b.loop(0, blocks * 64, 5) as i:
+        b.assign(check, b.add(check, b.load(addr(b, dst, i))))
+    b.ret(check)
+    return b.module
+
+
+@register("crc", "eembc", "CRC-32 over a buffer (telecom)", has_hand=True)
+def build_crc() -> Module:
+    n = 512
+    rng = Lcg(79)
+    # Table-driven CRC32 with host-precomputed table.
+    table = []
+    for v in range(256):
+        c = v
+        for _ in range(8):
+            c = (c >> 1) ^ (0xEDB88320 if c & 1 else 0)
+        table.append(c)
+    b = Builder()
+    buf = b.global_array("buf", n, 8,
+                         init_i64(rng.below(256) for _ in range(n)))
+    tab = b.global_array("tab", 256, 8, init_i64(table))
+    b.function("main", return_type=Type.I64)
+    crc = b.mov(0xFFFFFFFF)
+    with b.loop(0, n) as i:
+        byte = b.load(addr(b, buf, i))
+        index = b.and_(b.xor(crc, byte), 0xFF)
+        entry = b.load(addr(b, tab, index))
+        b.assign(crc, b.xor(b.shr(b.and_(crc, 0xFFFFFFFF), 8), entry))
+    b.ret(b.and_(crc, 0xFFFFFFFF))
+    return b.module
+
+
+@register("tblook", "eembc", "table lookup with interpolation (auto)")
+def build_tblook() -> Module:
+    n = 300
+    rng = Lcg(83)
+    b = Builder()
+    xs = b.global_array("xs", 32, 8, init_i64(k * 100 for k in range(32)))
+    ys = b.global_array("ys", 32, 8,
+                        init_i64((k * k * 3 + 17) & 0xFFFF for k in range(32)))
+    queries = b.global_array("queries", n, 8,
+                             init_i64(rng.below(3100) for _ in range(n)))
+    b.function("main", return_type=Type.I64)
+    check = b.mov(0)
+    with b.loop(0, n) as qi:
+        q = b.load(addr(b, queries, qi))
+        # Binary search for the bracketing segment.
+        lo = b.mov(0)
+        hi = b.mov(31)
+        with b.loop(0, 5, name="bs") as _it:
+            mid = b.div(b.add(lo, hi), 2)
+            xv = b.load(addr(b, xs, mid))
+            below = b.le(xv, q)
+            with b.if_then_else(below) as (then, otherwise):
+                with then:
+                    b.assign(lo, mid)
+                with otherwise:
+                    b.assign(hi, mid)
+        x0 = b.load(addr(b, xs, lo))
+        x1 = b.load(addr(b, xs, b.add(lo, 1)))
+        y0 = b.load(addr(b, ys, lo))
+        y1 = b.load(addr(b, ys, b.add(lo, 1)))
+        span = b.sub(x1, x0)
+        interp = b.add(y0, b.div(b.mul(b.sub(y1, y0), b.sub(q, x0)), span))
+        b.assign(check, b.add(check, interp))
+    b.ret(check)
+    return b.module
+
+
+@register("viterb", "eembc", "Viterbi decoder inner loops (telecom)")
+def build_viterb() -> Module:
+    n = 128
+    states = 16
+    rng = Lcg(89)
+    b = Builder()
+    symbols = b.global_array("symbols", n, 8,
+                             init_i64(rng.below(4) for _ in range(n)))
+    metrics = b.global_array("metrics", states, 8,
+                             init_i64([0] + [1000] * (states - 1)))
+    scratch = b.global_array("scratch", states, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, n) as t:
+        sym = b.load(addr(b, symbols, t))
+        with b.loop(0, states) as s:
+            # Two predecessors: s>>1 and (s>>1) + states//2.
+            p0 = b.shr(s, 1)
+            p1 = b.add(p0, states // 2)
+            m0 = b.load(addr(b, metrics, p0))
+            m1 = b.load(addr(b, metrics, p1))
+            expected = b.and_(b.add(s, sym), 3)
+            cost = b.and_(b.xor(s, sym), 3)
+            c0 = b.add(m0, cost)
+            c1 = b.add(m1, b.xor(cost, 1))
+            better = b.le(c0, c1)
+            with b.if_then_else(better) as (then, otherwise):
+                with then:
+                    b.store(c0, addr(b, scratch, s))
+                with otherwise:
+                    b.store(c1, addr(b, scratch, s))
+        with b.loop(0, states) as s:
+            b.store(b.load(addr(b, scratch, s)), addr(b, metrics, s))
+    best = b.mov(1 << 30)
+    with b.loop(0, states) as s:
+        m = b.load(addr(b, metrics, s))
+        closer = b.lt(m, best)
+        with b.if_then(closer):
+            b.assign(best, m)
+    b.ret(best)
+    return b.module
+
+
+@register("aifirf", "eembc", "fixed-point FIR filter (automotive)")
+def build_aifirf() -> Module:
+    n = 256
+    taps = 32
+    rng = Lcg(97)
+    b = Builder()
+    samples = b.global_array("samples", n + taps, 8,
+                             init_i64(rng.below(2048) - 1024
+                                      for _ in range(n + taps)))
+    coeffs = b.global_array("coeffs", taps, 8,
+                            init_i64(rng.below(256) - 128
+                                     for _ in range(taps)))
+    out = b.global_array("out", n, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, n) as i:
+        acc = b.mov(0)
+        with b.loop(0, taps) as k:
+            x = b.load(addr(b, samples, b.add(i, k)))
+            h = b.load(addr(b, coeffs, k))
+            b.assign(acc, b.add(acc, b.mul(x, h)))
+        b.store(b.sra(acc, 7), addr(b, out, i))
+    check = b.mov(0)
+    with b.loop(0, n) as i:
+        b.assign(check, b.and_(b.add(b.mul(check, 3),
+                                     b.load(addr(b, out, i))), 0xFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("pktflow", "eembc", "packet-flow classification (networking)")
+def build_pktflow() -> Module:
+    packets = 220
+    rng = Lcg(111)
+    # Packet = (src, dst, proto, length); host-built.
+    flat = []
+    for _ in range(packets):
+        flat += [rng.below(16), rng.below(16), rng.below(4),
+                 64 + rng.below(1400)]
+    b = Builder()
+    pkts = b.global_array("pkts", packets * 4, 8, init_i64(flat))
+    counts = b.global_array("counts", 64, 8)
+    dropped = b.global_array("dropped", 1, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, packets) as p:
+        base = b.mul(p, 4)
+        src = b.load(addr(b, pkts, base))
+        dst = b.load(addr(b, pkts, b.add(base, 1)))
+        proto = b.load(addr(b, pkts, b.add(base, 2)))
+        length = b.load(addr(b, pkts, b.add(base, 3)))
+        # Checks: runt/jumbo drop, protocol filter, then flow binning.
+        runt = b.lt(length, 64)
+        jumbo = b.gt(length, 1400)
+        bad = b.or_(runt, b.or_(jumbo, b.eq(proto, 3)))
+        with b.if_then_else(bad) as (then, otherwise):
+            with then:
+                old = b.load(dropped)
+                b.store(b.add(old, 1), dropped)
+            with otherwise:
+                flow = b.and_(b.add(b.mul(src, 7), dst), 63)
+                slot = addr(b, counts, flow)
+                b.store(b.add(b.load(slot), length), slot)
+    check = b.mov(b.load(dropped))
+    with b.loop(0, 64) as f:
+        b.assign(check, b.and_(b.add(b.mul(check, 5),
+                                     b.load(addr(b, counts, f))),
+                               0xFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("bitmnp", "eembc", "bit-manipulation shifts/rotates (auto)")
+def build_bitmnp() -> Module:
+    n = 300
+    rng = Lcg(113)
+    b = Builder()
+    words = b.global_array("words", n, 8,
+                           init_i64(rng.next() for _ in range(n)))
+    b.function("main", return_type=Type.I64)
+    check = b.mov(0)
+    with b.loop(0, n) as i:
+        w = b.load(addr(b, words, i))
+        # Rotate left by (i & 15), reverse nibbles of the low byte, merge.
+        amount = b.and_(i, 15)
+        rotated = b.or_(b.shl(w, amount),
+                        b.shr(w, b.sub(64, amount)))
+        low = b.and_(rotated, 0xFF)
+        swapped = b.or_(b.shl(b.and_(low, 0x0F), 4),
+                        b.shr(b.and_(low, 0xF0), 4))
+        merged = b.xor(rotated, swapped)
+        b.assign(check, b.and_(b.add(b.mul(check, 3), merged),
+                               0xFFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("canrdr", "eembc", "CAN message dispatch (automotive)")
+def build_canrdr() -> Module:
+    messages = 240
+    rng = Lcg(117)
+    flat = []
+    for _ in range(messages):
+        flat += [rng.below(32), rng.below(256)]   # (id, payload)
+    b = Builder()
+    msgs = b.global_array("msgs", messages * 2, 8, init_i64(flat))
+    state = b.global_array("state", 8, 8)
+    b.function("main", return_type=Type.I64)
+    errors = b.mov(0)
+    with b.loop(0, messages) as m:
+        base = b.mul(m, 2)
+        mid = b.load(addr(b, msgs, base))
+        payload = b.load(addr(b, msgs, b.add(base, 1)))
+        # Dispatch ladder over message classes, as in the CAN reader.
+        is_engine = b.lt(mid, 8)
+        with b.if_then_else(is_engine) as (then, otherwise):
+            with then:
+                slot = addr(b, state, 0)
+                b.store(b.add(b.load(slot), payload), slot)
+            with otherwise:
+                is_brake = b.lt(mid, 16)
+                with b.if_then_else(is_brake) as (t2, o2):
+                    with t2:
+                        slot = addr(b, state, 1)
+                        b.store(b.xor(b.load(slot), payload), slot)
+                    with o2:
+                        is_diag = b.lt(mid, 24)
+                        with b.if_then_else(is_diag) as (t3, o3):
+                            with t3:
+                                slot = addr(b, state, 2)
+                                b.store(b.add(b.load(slot), 1), slot)
+                            with o3:
+                                b.assign(errors, b.add(errors, 1))
+    check = b.mov(b.mul(errors, 1000))
+    with b.loop(0, 8) as s:
+        b.assign(check, b.and_(b.add(b.mul(check, 7),
+                                     b.load(addr(b, state, s))),
+                               0xFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("iirflt", "eembc", "cascaded IIR biquad filter (automotive)")
+def build_iirflt() -> Module:
+    n = 320
+    rng = Lcg(119)
+    b = Builder()
+    samples = b.global_array("samples", n, 8,
+                             init_i64(rng.below(4096) - 2048
+                                      for _ in range(n)))
+    b.function("main", return_type=Type.I64)
+    # Two biquad sections in fixed point (Q8 coefficients).
+    x1 = b.mov(0); x2 = b.mov(0); y1 = b.mov(0); y2 = b.mov(0)
+    z1 = b.mov(0); z2 = b.mov(0); w1 = b.mov(0); w2 = b.mov(0)
+    check = b.mov(0)
+    with b.loop(0, n) as i:
+        x = b.load(addr(b, samples, i))
+        t = b.add(b.mul(x, 64),
+                  b.sub(b.add(b.mul(x1, 120), b.mul(x2, -50)),
+                        b.add(b.mul(y1, 30), b.mul(y2, 10))))
+        y = b.sra(t, 8)
+        b.assign(x2, x1); b.assign(x1, x)
+        b.assign(y2, y1); b.assign(y1, y)
+        t2 = b.add(b.mul(y, 90),
+                   b.sub(b.add(b.mul(z1, 100), b.mul(z2, -40)),
+                         b.add(b.mul(w1, 20), b.mul(w2, 5))))
+        w = b.sra(t2, 8)
+        b.assign(z2, z1); b.assign(z1, y)
+        b.assign(w2, w1); b.assign(w1, w)
+        b.assign(check, b.and_(b.add(check, w), 0xFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("cacheb", "eembc", "cache-buster strided memory walk (auto)")
+def build_cacheb() -> Module:
+    size = 4096          # 32 KB of int64 — exceeds one L1 data bank
+    rng = Lcg(121)
+    b = Builder()
+    buf = b.global_array("buf", size, 8)
+    b.function("main", return_type=Type.I64)
+    # Initialize with a stride pattern, then walk with conflicting strides
+    # (the EEMBC kernel stresses the data cache on purpose).
+    with b.loop(0, size) as i:
+        b.store(b.and_(b.mul(i, 2654435761), 0xFFFF), addr(b, buf, i))
+    check = b.mov(0)
+    for stride in (1, 17, 64, 129):
+        idx = b.mov(0)
+        with b.loop(0, 512, name=f"s{stride}"):
+            v = b.load(addr(b, buf, idx))
+            b.assign(check, b.and_(b.add(check, v), 0xFFFFFFF))
+            b.assign(idx, b.rem(b.add(idx, stride), size))
+    b.ret(check)
+    return b.module

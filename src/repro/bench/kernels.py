@@ -1,0 +1,127 @@
+"""The four hand-optimized scientific kernels (Table 2): matrix transpose
+(ct), convolution (conv), vector add (vadd), and matrix multiply (matrix).
+
+These are the workloads the paper uses to demonstrate the performance
+potential of TRIPS: regular, loop-dominated, and parallelizable, so the
+large window and 16-wide issue can be saturated.
+"""
+
+from __future__ import annotations
+
+from repro.bench._util import Lcg, addr, init_f64, init_i64
+from repro.bench.suites import register
+from repro.ir.builder import Builder
+from repro.ir.function import Module
+from repro.ir.types import Type
+
+
+@register("vadd", "kernels", "cache-resident vector add, c[i] = a[i] + b[i]")
+def build_vadd() -> Module:
+    # The paper's kernels are "largely L2 cache resident": a modest
+    # working set iterated several times, so the partitioned L1 banks —
+    # not DRAM — set the bandwidth (Figure 8).
+    n = 256
+    reps = 6
+    rng = Lcg(7)
+    b = Builder()
+    a = b.global_array("a", n, 8, init_f64(rng.float01() for _ in range(n)))
+    c = b.global_array("b", n, 8, init_f64(rng.float01() for _ in range(n)))
+    d = b.global_array("c", n, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, reps, name="rep"):
+        with b.loop(0, n) as i:
+            off = b.shl(i, 3)
+            x = b.fload(b.add(a, off))
+            y = b.fload(b.add(c, off))
+            b.fstore(b.fadd(x, y), b.add(d, off))
+    total = b.mov(0.0)
+    with b.loop(0, n) as i:
+        b.assign(total, b.fadd(total, b.fload(addr(b, d, i))))
+    b.ret(b.f2i(b.fmul(total, 1000.0)))
+    return b.module
+
+
+@register("ct", "kernels", "blocked matrix transpose")
+def build_ct() -> Module:
+    n = 32
+    reps = 3
+    rng = Lcg(11)
+    b = Builder()
+    src = b.global_array("src", n * n, 8,
+                         init_i64(rng.below(1 << 20) for _ in range(n * n)))
+    dst = b.global_array("dst", n * n, 8)
+    b.function("main", return_type=Type.I64)
+    block = 8
+    with b.loop(0, reps, name="rep"):
+        _ct_pass(b, src, dst, n, block)
+    check = b.mov(0)
+    with b.loop(0, n * n, 7) as k:
+        b.assign(check, b.add(check, b.load(addr(b, dst, k))))
+    b.ret(check)
+    return b.module
+
+
+def _ct_pass(b: Builder, src: int, dst: int, n: int, block: int) -> None:
+    with b.loop(0, n, block, name="bi") as bi:
+        with b.loop(0, n, block, name="bj") as bj:
+            with b.loop(0, block) as i:
+                row = b.add(bi, i)
+                with b.loop(0, block) as j:
+                    col = b.add(bj, j)
+                    value = b.load(addr(b, src, b.add(b.mul(row, n), col)))
+                    b.store(value, addr(b, dst, b.add(b.mul(col, n), row)))
+
+
+@register("conv", "kernels", "1-D convolution, 16-tap FIR")
+def build_conv() -> Module:
+    n = 192
+    taps = 16
+    reps = 3
+    rng = Lcg(13)
+    b = Builder()
+    signal = b.global_array("signal", n + taps, 8,
+                            init_f64(rng.float01() - 0.5
+                                     for _ in range(n + taps)))
+    coeff = b.global_array("coeff", taps, 8,
+                           init_f64(rng.float01() for _ in range(taps)))
+    output = b.global_array("output", n, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, reps, name="rep"):
+        with b.loop(0, n) as i:
+            acc = b.mov(0.0)
+            with b.loop(0, taps) as k:
+                x = b.fload(addr(b, signal, b.add(i, k)))
+                h = b.fload(addr(b, coeff, k))
+                b.assign(acc, b.fadd(acc, b.fmul(x, h)))
+            b.fstore(acc, addr(b, output, i))
+    total = b.mov(0.0)
+    with b.loop(0, n) as i:
+        b.assign(total, b.fadd(total, b.fload(addr(b, output, i))))
+    b.ret(b.f2i(b.fmul(total, 4096.0)))
+    return b.module
+
+
+@register("matrix", "kernels", "dense matrix multiply (float)")
+def build_matrix() -> Module:
+    n = 20
+    rng = Lcg(17)
+    b = Builder()
+    ma = b.global_array("ma", n * n, 8,
+                        init_f64(rng.float01() for _ in range(n * n)))
+    mb = b.global_array("mb", n * n, 8,
+                        init_f64(rng.float01() for _ in range(n * n)))
+    mc = b.global_array("mc", n * n, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, n) as i:
+        with b.loop(0, n) as j:
+            acc = b.mov(0.0)
+            with b.loop(0, n) as k:
+                x = b.fload(addr(b, ma, b.add(b.mul(i, n), k)))
+                y = b.fload(addr(b, mb, b.add(b.mul(k, n), j)))
+                b.assign(acc, b.fadd(acc, b.fmul(x, y)))
+            b.fstore(acc, addr(b, mc, b.add(b.mul(i, n), j)))
+    total = b.mov(0.0)
+    with b.loop(0, n * n, 3) as k:
+        b.assign(total, b.fadd(total, b.fload(addr(b, mc, k))))
+    b.ret(b.f2i(b.fmul(total, 256.0)))
+    return b.module

@@ -1,0 +1,377 @@
+"""SPEC CPU2000 floating-point proxies (8 of 14, matching the paper's
+subset: applu, apsi, art, equake, mesa, mgrid, swim, wupwise)."""
+
+from __future__ import annotations
+
+from repro.bench._util import Lcg, addr, init_f64, init_i64
+from repro.bench.suites import register
+from repro.ir.builder import Builder
+from repro.ir.function import Module
+from repro.ir.types import Type
+
+
+@register("applu", "spec_fp", "SSOR sweep on a small 3-D grid",
+          has_hand=False)
+def build_applu() -> Module:
+    nx = ny = nz = 8
+    rng = Lcg(151)
+    size = nx * ny * nz
+    b = Builder()
+    u = b.global_array("u", size, 8,
+                       init_f64(rng.float01() for _ in range(size)))
+    rhs = b.global_array("rhs", size, 8,
+                         init_f64(rng.float01() * 0.1 for _ in range(size)))
+    b.function("main", return_type=Type.I64)
+    omega = 1.2
+    with b.loop(0, 4, name="sweep") as _s:
+        with b.loop(1, nz - 1) as k:
+            with b.loop(1, ny - 1) as j:
+                with b.loop(1, nx - 1) as i:
+                    idx = b.add(b.add(b.mul(k, nx * ny), b.mul(j, nx)), i)
+                    center = b.fload(addr(b, u, idx))
+                    west = b.fload(addr(b, u, b.sub(idx, 1)))
+                    east = b.fload(addr(b, u, b.add(idx, 1)))
+                    south = b.fload(addr(b, u, b.sub(idx, nx)))
+                    north = b.fload(addr(b, u, b.add(idx, nx)))
+                    down = b.fload(addr(b, u, b.sub(idx, nx * ny)))
+                    up = b.fload(addr(b, u, b.add(idx, nx * ny)))
+                    f = b.fload(addr(b, rhs, idx))
+                    neighbors = b.fadd(b.fadd(b.fadd(west, east),
+                                              b.fadd(south, north)),
+                                       b.fadd(down, up))
+                    gs = b.fmul(b.fadd(neighbors, f), 1.0 / 6.0)
+                    relaxed = b.fadd(b.fmul(center, 1.0 - omega),
+                                     b.fmul(gs, omega))
+                    b.fstore(relaxed, addr(b, u, idx))
+    norm = b.mov(0.0)
+    with b.loop(0, size, 3) as i:
+        v = b.fload(addr(b, u, i))
+        b.assign(norm, b.fadd(norm, b.fmul(v, v)))
+    b.ret(b.f2i(b.fmul(norm, 1000.0)))
+    return b.module
+
+
+@register("apsi", "spec_fp", "atmospheric stencil + polynomial physics",
+          has_hand=False)
+def build_apsi() -> Module:
+    n = 24
+    rng = Lcg(157)
+    b = Builder()
+    temp = b.global_array("temp", n * n, 8,
+                          init_f64(250.0 + 50 * rng.float01()
+                                   for _ in range(n * n)))
+    wind = b.global_array("wind", n * n, 8,
+                          init_f64(rng.float01() - 0.5 for _ in range(n * n)))
+    out = b.global_array("out", n * n, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, 3, name="step") as _t:
+        with b.loop(1, n - 1) as i:
+            with b.loop(1, n - 1) as j:
+                idx = b.add(b.mul(i, n), j)
+                t0 = b.fload(addr(b, temp, idx))
+                w = b.fload(addr(b, wind, idx))
+                adv = b.fmul(w, b.fsub(b.fload(addr(b, temp, b.add(idx, 1))),
+                                       b.fload(addr(b, temp, b.sub(idx, 1)))))
+                # Saturation vapor pressure by cubic polynomial (the
+                # transcendental-replacement trick apsi itself uses).
+                x = b.fmul(t0, 0.004)
+                poly = b.fadd(1.0, b.fmul(x, b.fadd(
+                    1.0, b.fmul(x, b.fadd(0.5, b.fmul(x, 0.1666))))))
+                b.fstore(b.fadd(t0, b.fmul(0.05, b.fsub(poly, adv))),
+                         addr(b, out, idx))
+        with b.loop(1, n - 1) as i:
+            with b.loop(1, n - 1) as j:
+                idx = b.add(b.mul(i, n), j)
+                b.fstore(b.fload(addr(b, out, idx)), addr(b, temp, idx))
+    norm = b.mov(0.0)
+    with b.loop(0, n * n, 5) as i:
+        b.assign(norm, b.fadd(norm, b.fload(addr(b, temp, i))))
+    b.ret(b.f2i(norm))
+    return b.module
+
+
+@register("art", "spec_fp", "adaptive resonance F1 matching loops",
+          has_hand=False)
+def build_art() -> Module:
+    features = 32
+    categories = 16
+    rng = Lcg(163)
+    b = Builder()
+    input_v = b.global_array("input", features, 8,
+                             init_f64(rng.float01() for _ in range(features)))
+    weights = b.global_array("weights", categories * features, 8,
+                             init_f64(rng.float01()
+                                      for _ in range(categories * features)))
+    scores = b.global_array("scores", categories, 8)
+    b.function("main", return_type=Type.I64)
+    winner = b.mov(0)
+    with b.loop(0, 8, name="passes") as _p:
+        # Bottom-up activation: dot(input, min(input, w)) per category.
+        with b.loop(0, categories) as c:
+            acc = b.mov(0.0)
+            base = b.mul(c, features)
+            with b.loop(0, features) as f:
+                x = b.fload(addr(b, input_v, f))
+                w = b.fload(addr(b, weights, b.add(base, f)))
+                smaller = b.flt(x, w)
+                m = b.mov(0.0)
+                with b.if_then_else(smaller) as (then, otherwise):
+                    with then:
+                        b.assign(m, x)
+                    with otherwise:
+                        b.assign(m, w)
+                b.assign(acc, b.fadd(acc, m))
+            b.fstore(acc, addr(b, scores, c))
+        # Winner take all + weight decay on the winner.
+        best = b.mov(-1.0)
+        b.assign(winner, 0)
+        with b.loop(0, categories) as c:
+            s = b.fload(addr(b, scores, c))
+            better = b.flt(best, s)
+            with b.if_then(better):
+                b.assign(best, s)
+                b.assign(winner, c)
+        base = b.mul(winner, features)
+        with b.loop(0, features) as f:
+            w = b.fload(addr(b, weights, b.add(base, f)))
+            b.fstore(b.fmul(w, 0.95), addr(b, weights, b.add(base, f)))
+    b.ret(winner)
+    return b.module
+
+
+@register("equake", "spec_fp", "sparse matrix-vector products (CSR)",
+          has_hand=False)
+def build_equake() -> Module:
+    n = 96
+    rng = Lcg(167)
+    # Host-side CSR: ~6 nonzeros per row.
+    row_ptr = [0]
+    cols = []
+    vals = []
+    for i in range(n):
+        nnz = 3 + rng.below(5)
+        for _ in range(nnz):
+            cols.append(rng.below(n))
+            vals.append(rng.float01() - 0.3)
+        row_ptr.append(len(cols))
+    b = Builder()
+    rp = b.global_array("rp", n + 1, 8, init_i64(row_ptr))
+    ci = b.global_array("ci", len(cols), 8, init_i64(cols))
+    av = b.global_array("av", len(vals), 8, init_f64(vals))
+    x = b.global_array("x", n, 8, init_f64(rng.float01() for _ in range(n)))
+    y = b.global_array("y", n, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, 6, name="steps") as _t:
+        with b.loop(0, n) as i:
+            start = b.load(addr(b, rp, i))
+            stop = b.load(addr(b, rp, b.add(i, 1)))
+            acc = b.mov(0.0)
+            k = b.mov(start)
+            with b.while_loop(lambda: b.lt(k, stop)):
+                col = b.load(addr(b, ci, k))
+                a = b.fload(addr(b, av, k))
+                xv = b.fload(addr(b, x, col))
+                b.assign(acc, b.fadd(acc, b.fmul(a, xv)))
+                b.assign(k, b.add(k, 1))
+            b.fstore(acc, addr(b, y, i))
+        # x = 0.9x + 0.1y (time integration).
+        with b.loop(0, n) as i:
+            xv = b.fload(addr(b, x, i))
+            yv = b.fload(addr(b, y, i))
+            b.fstore(b.fadd(b.fmul(xv, 0.9), b.fmul(yv, 0.1)),
+                     addr(b, x, i))
+    norm = b.mov(0.0)
+    with b.loop(0, n) as i:
+        v = b.fload(addr(b, x, i))
+        b.assign(norm, b.fadd(norm, b.fmul(v, v)))
+    b.ret(b.f2i(b.fmul(norm, 100.0)))
+    return b.module
+
+
+@register("mesa", "spec_fp", "triangle rasterization with z-test",
+          has_hand=False)
+def build_mesa() -> Module:
+    width = height = 18
+    tris = 12
+    rng = Lcg(173)
+    verts = []
+    for _ in range(tris):
+        x0, y0 = rng.below(width), rng.below(height)
+        verts += [x0, y0, rng.below(width), rng.below(height),
+                  rng.below(width), rng.below(height),
+                  rng.below(1000)]
+    b = Builder()
+    tri = b.global_array("tri", len(verts), 8, init_i64(verts))
+    zbuf = b.global_array("zbuf", width * height, 8,
+                          init_i64([1 << 20] * (width * height)))
+    color = b.global_array("color", width * height, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, tris) as t:
+        base = b.mul(t, 7)
+        x0 = b.load(addr(b, tri, base))
+        y0 = b.load(addr(b, tri, b.add(base, 1)))
+        x1 = b.load(addr(b, tri, b.add(base, 2)))
+        y1 = b.load(addr(b, tri, b.add(base, 3)))
+        x2 = b.load(addr(b, tri, b.add(base, 4)))
+        y2 = b.load(addr(b, tri, b.add(base, 5)))
+        depth = b.load(addr(b, tri, b.add(base, 6)))
+        with b.loop(0, height) as py:
+            with b.loop(0, width) as px:
+                # Edge functions (integer barycentric sign tests).
+                e0 = b.sub(b.mul(b.sub(x1, x0), b.sub(py, y0)),
+                           b.mul(b.sub(y1, y0), b.sub(px, x0)))
+                e1 = b.sub(b.mul(b.sub(x2, x1), b.sub(py, y1)),
+                           b.mul(b.sub(y2, y1), b.sub(px, x1)))
+                e2 = b.sub(b.mul(b.sub(x0, x2), b.sub(py, y2)),
+                           b.mul(b.sub(y0, y2), b.sub(px, x2)))
+                inside = b.and_(b.and_(b.ge(e0, 0), b.ge(e1, 0)),
+                                b.ge(e2, 0))
+                with b.if_then(inside):
+                    pix = b.add(b.mul(py, width), px)
+                    z = b.load(addr(b, zbuf, pix))
+                    closer = b.lt(depth, z)
+                    with b.if_then(closer):
+                        b.store(depth, addr(b, zbuf, pix))
+                        b.store(b.add(b.mul(t, 31), 7), addr(b, color, pix))
+    check = b.mov(0)
+    with b.loop(0, width * height) as i:
+        b.assign(check, b.add(b.mul(check, 3),
+                              b.load(addr(b, color, i))))
+        b.assign(check, b.and_(check, 0xFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("mgrid", "spec_fp", "multigrid V-cycle relaxation",
+          has_hand=False)
+def build_mgrid() -> Module:
+    n = 16   # finest grid side (2-D for scale)
+    rng = Lcg(179)
+    b = Builder()
+    fine = b.global_array("fine", n * n, 8,
+                          init_f64(rng.float01() for _ in range(n * n)))
+    coarse = b.global_array("coarse", (n // 2) * (n // 2), 8)
+    b.function("main", return_type=Type.I64)
+    half = n // 2
+    with b.loop(0, 3, name="vcycle") as _v:
+        # Relax on the fine grid.
+        with b.loop(0, 2, name="relax") as _r:
+            with b.loop(1, n - 1) as i:
+                with b.loop(1, n - 1) as j:
+                    idx = b.add(b.mul(i, n), j)
+                    s = b.fadd(
+                        b.fadd(b.fload(addr(b, fine, b.sub(idx, 1))),
+                               b.fload(addr(b, fine, b.add(idx, 1)))),
+                        b.fadd(b.fload(addr(b, fine, b.sub(idx, n))),
+                               b.fload(addr(b, fine, b.add(idx, n)))))
+                    b.fstore(b.fmul(s, 0.25), addr(b, fine, idx))
+        # Restrict to the coarse grid.
+        with b.loop(0, half) as i:
+            with b.loop(0, half) as j:
+                src = b.add(b.mul(b.mul(i, 2), n), b.mul(j, 2))
+                v = b.fload(addr(b, fine, src))
+                b.fstore(b.fmul(v, 0.5), addr(b, coarse,
+                                              b.add(b.mul(i, half), j)))
+        # Prolongate back (inject).
+        with b.loop(0, half) as i:
+            with b.loop(0, half) as j:
+                cv = b.fload(addr(b, coarse, b.add(b.mul(i, half), j)))
+                dst = b.add(b.mul(b.mul(i, 2), n), b.mul(j, 2))
+                old = b.fload(addr(b, fine, dst))
+                b.fstore(b.fadd(old, b.fmul(cv, 0.1)), addr(b, fine, dst))
+    norm = b.mov(0.0)
+    with b.loop(0, n * n, 3) as i:
+        v = b.fload(addr(b, fine, i))
+        b.assign(norm, b.fadd(norm, b.fmul(v, v)))
+    b.ret(b.f2i(b.fmul(norm, 10000.0)))
+    return b.module
+
+
+@register("swim", "spec_fp", "shallow-water 2-D stencil", has_hand=False)
+def build_swim() -> Module:
+    n = 20
+    rng = Lcg(181)
+    b = Builder()
+    u = b.global_array("u", n * n, 8,
+                       init_f64(rng.float01() for _ in range(n * n)))
+    v = b.global_array("v", n * n, 8,
+                       init_f64(rng.float01() for _ in range(n * n)))
+    p = b.global_array("p", n * n, 8,
+                       init_f64(1.0 + rng.float01() for _ in range(n * n)))
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, 4, name="step") as _t:
+        with b.loop(1, n - 1) as i:
+            with b.loop(1, n - 1) as j:
+                idx = b.add(b.mul(i, n), j)
+                du = b.fsub(b.fload(addr(b, p, b.add(idx, 1))),
+                            b.fload(addr(b, p, b.sub(idx, 1))))
+                dv = b.fsub(b.fload(addr(b, p, b.add(idx, n))),
+                            b.fload(addr(b, p, b.sub(idx, n))))
+                uv = b.fload(addr(b, u, idx))
+                vv = b.fload(addr(b, v, idx))
+                b.fstore(b.fsub(uv, b.fmul(du, 0.05)), addr(b, u, idx))
+                b.fstore(b.fsub(vv, b.fmul(dv, 0.05)), addr(b, v, idx))
+        with b.loop(1, n - 1) as i:
+            with b.loop(1, n - 1) as j:
+                idx = b.add(b.mul(i, n), j)
+                div = b.fadd(
+                    b.fsub(b.fload(addr(b, u, b.add(idx, 1))),
+                           b.fload(addr(b, u, b.sub(idx, 1)))),
+                    b.fsub(b.fload(addr(b, v, b.add(idx, n))),
+                           b.fload(addr(b, v, b.sub(idx, n)))))
+                pv = b.fload(addr(b, p, idx))
+                b.fstore(b.fsub(pv, b.fmul(div, 0.02)), addr(b, p, idx))
+    norm = b.mov(0.0)
+    with b.loop(0, n * n, 4) as i:
+        b.assign(norm, b.fadd(norm, b.fload(addr(b, p, i))))
+    b.ret(b.f2i(b.fmul(norm, 1000.0)))
+    return b.module
+
+
+@register("wupwise", "spec_fp", "complex matrix-vector (lattice QCD)",
+          has_hand=False)
+def build_wupwise() -> Module:
+    sites = 48
+    rng = Lcg(191)
+    b = Builder()
+    # Complex 2x2 matrix per site (8 doubles) times complex 2-vector.
+    mats = b.global_array("mats", sites * 8, 8,
+                          init_f64(rng.float01() - 0.5
+                                   for _ in range(sites * 8)))
+    vecs = b.global_array("vecs", sites * 4, 8,
+                          init_f64(rng.float01() - 0.5
+                                   for _ in range(sites * 4)))
+    out = b.global_array("out", sites * 4, 8)
+    b.function("main", return_type=Type.I64)
+    with b.loop(0, 5, name="sweeps") as _s:
+        with b.loop(0, sites) as s:
+            mb = b.mul(s, 8)
+            vb = b.mul(s, 4)
+            # out = M * v for 2x2 complex M, 2-vector v.
+            for row in range(2):
+                ar = b.mov(0.0)
+                ai = b.mov(0.0)
+                for col in range(2):
+                    mr = b.fload(addr(b, mats, b.add(mb, row * 4 + col * 2)))
+                    mi = b.fload(addr(b, mats,
+                                      b.add(mb, row * 4 + col * 2 + 1)))
+                    vr = b.fload(addr(b, vecs, b.add(vb, col * 2)))
+                    vi = b.fload(addr(b, vecs, b.add(vb, col * 2 + 1)))
+                    b.assign(ar, b.fadd(ar, b.fsub(b.fmul(mr, vr),
+                                                   b.fmul(mi, vi))))
+                    b.assign(ai, b.fadd(ai, b.fadd(b.fmul(mr, vi),
+                                                   b.fmul(mi, vr))))
+                b.fstore(ar, addr(b, out, b.add(vb, row * 2)))
+                b.fstore(ai, addr(b, out, b.add(vb, row * 2 + 1)))
+        # Feed back with damping.
+        with b.loop(0, sites * 4) as k:
+            ov = b.fload(addr(b, out, k))
+            iv = b.fload(addr(b, vecs, k))
+            b.fstore(b.fadd(b.fmul(iv, 0.7), b.fmul(ov, 0.3)),
+                     addr(b, vecs, k))
+    norm = b.mov(0.0)
+    with b.loop(0, sites * 4) as k:
+        vv = b.fload(addr(b, vecs, k))
+        b.assign(norm, b.fadd(norm, b.fmul(vv, vv)))
+    b.ret(b.f2i(b.fmul(norm, 1000.0)))
+    return b.module

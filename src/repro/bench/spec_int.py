@@ -1,0 +1,537 @@
+"""SPEC CPU2000 integer proxies (10 of 12, as in the paper — gap and the
+C++ benchmark are omitted there too).
+
+Each proxy is a scaled-down program with the control-flow and memory
+character of its namesake: bzip2's transform pipelines, crafty's
+branchy board evaluation with calls, gcc's irregular graph walking, gzip's
+window match search, mcf's pointer-style network arcs, parser's recursive
+descent, perlbmk's string hashing, twolf's annealing loop, vortex's
+object tables, and vpr's maze routing.  These stand in for SimPoint
+regions of the originals.
+"""
+
+from __future__ import annotations
+
+from repro.bench._util import Lcg, addr, emit_lcg_step, init_i64
+from repro.bench.suites import register
+from repro.ir.builder import Builder
+from repro.ir.function import Module
+from repro.ir.types import Type
+
+
+@register("bzip2", "spec_int", "RLE + move-to-front transform", has_hand=False)
+def build_bzip2() -> Module:
+    n = 360
+    rng = Lcg(101)
+    data = [rng.below(16) for _ in range(n)]
+    b = Builder()
+    src = b.global_array("src", n, 8, init_i64(data))
+    rle = b.global_array("rle", 2 * n, 8)
+    mtf = b.global_array("mtf", 16, 8, init_i64(range(16)))
+    b.function("main", return_type=Type.I64)
+    # Run-length encode.
+    out = b.mov(0)
+    i = b.mov(0)
+    with b.while_loop(lambda: b.lt(i, n)):
+        sym = b.load(addr(b, src, i))
+        run = b.mov(1)
+        nxt = b.add(i, 1)
+        with b.while_loop(lambda: b.and_(b.lt(nxt, n),
+                                         b.eq(b.load(addr(b, src, nxt)), sym))):
+            b.assign(run, b.add(run, 1))
+            b.assign(nxt, b.add(nxt, 1))
+        b.store(sym, addr(b, rle, out))
+        b.store(run, addr(b, rle, b.add(out, 1)))
+        b.assign(out, b.add(out, 2))
+        b.assign(i, nxt)
+    # Move-to-front over the RLE symbols.
+    check = b.mov(0)
+    with b.loop(0, out, 2, name="k") as k:
+        sym = b.load(addr(b, rle, k))
+        # Find symbol's rank.
+        rank = b.mov(0)
+        with b.loop(0, 16) as j:
+            v = b.load(addr(b, mtf, j))
+            hit = b.eq(v, sym)
+            with b.if_then(hit):
+                b.assign(rank, j)
+        # Shift down and reinsert at front.
+        with b.loop(0, 16) as j:
+            idx = b.sub(rank, j)
+            moving = b.gt(idx, 0)
+            with b.if_then(moving):
+                prev = b.load(addr(b, mtf, b.sub(idx, 1)))
+                b.store(prev, addr(b, mtf, idx))
+        b.store(sym, addr(b, mtf, 0))
+        run = b.load(addr(b, rle, b.add(k, 1)))
+        b.assign(check, b.add(b.mul(check, 5), b.add(rank, run)))
+        b.assign(check, b.and_(check, 0xFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("crafty", "spec_int", "bitboard evaluation with calls",
+          has_hand=False)
+def build_crafty() -> Module:
+    n = 80
+    rng = Lcg(103)
+    boards = [rng.next() for _ in range(n)]
+    b = Builder()
+    arr = b.global_array("boards", n, 8, init_i64(boards))
+    # popcount(bb): classic bit tricks, called per board.
+    p = b.function("popcount", [Type.I64], Type.I64)
+    v = b.mov(p[0])
+    count = b.mov(0)
+    with b.loop(0, 64, name="bit") as _bit:
+        nz = b.ne(v, 0)
+        with b.if_then(nz):
+            b.assign(count, b.add(count, b.and_(v, 1)))
+            b.assign(v, b.shr(v, 1))
+    b.ret(count)
+    # mobility(bb): shifted masks with branches.
+    p = b.function("mobility", [Type.I64], Type.I64)
+    bb = p[0]
+    north = b.and_(b.shl(bb, 8), -1)
+    south = b.shr(bb, 8)
+    east = b.and_(b.shl(bb, 1), 0xFEFEFEFEFEFEFEFE - (1 << 64))
+    west = b.and_(b.shr(bb, 1), 0x7F7F7F7F7F7F7F7F)
+    moves = b.or_(b.or_(north, south), b.or_(east, west))
+    free = b.and_(moves, b.xor(bb, -1))
+    score = b.call("popcount", [free], Type.I64)
+    b.ret(score)
+    b.function("main", return_type=Type.I64)
+    total = b.mov(0)
+    with b.loop(0, n) as i:
+        board = b.load(addr(b, arr, i))
+        material = b.call("popcount", [board], Type.I64)
+        mob = b.call("mobility", [board], Type.I64)
+        strong = b.gt(material, 32)
+        with b.if_then_else(strong) as (then, otherwise):
+            with then:
+                b.assign(total, b.add(total, b.add(b.mul(material, 3), mob)))
+            with otherwise:
+                b.assign(total, b.add(total, b.sub(mob, material)))
+    b.ret(total)
+    return b.module
+
+
+@register("gcc", "spec_int", "irregular graph walking (compiler-like)",
+          has_hand=False)
+def build_gcc() -> Module:
+    nodes = 200
+    rng = Lcg(107)
+    # Random DAG: each node has up to 2 successors with opcode payloads.
+    succ0 = [0] * nodes
+    succ1 = [0] * nodes
+    opcode = [rng.below(8) for _ in range(nodes)]
+    for i in range(nodes - 1):
+        succ0[i] = i + 1 if rng.below(3) else min(nodes - 1, i + 1 + rng.below(5))
+        succ1[i] = min(nodes - 1, i + 1 + rng.below(9)) if rng.below(2) else 0
+    b = Builder()
+    s0 = b.global_array("s0", nodes, 8, init_i64(succ0))
+    s1 = b.global_array("s1", nodes, 8, init_i64(succ1))
+    ops = b.global_array("ops", nodes, 8, init_i64(opcode))
+    value = b.global_array("value", nodes, 8)
+    b.function("main", return_type=Type.I64)
+    # "Constant propagation" pass: forward walk with per-opcode actions.
+    with b.loop(0, 12, name="passes") as _p:
+        cur = b.mov(0)
+        with b.loop(0, nodes, name="steps") as _s:
+            op = b.load(addr(b, ops, cur))
+            old = b.load(addr(b, value, cur))
+            is_add = b.lt(op, 3)
+            with b.if_then_else(is_add) as (then, otherwise):
+                with then:
+                    b.store(b.add(old, op), addr(b, value, cur))
+                with otherwise:
+                    is_shift = b.lt(op, 6)
+                    with b.if_then_else(is_shift) as (t2, o2):
+                        with t2:
+                            b.store(b.xor(old, b.shl(op, 2)),
+                                    addr(b, value, cur))
+                        with o2:
+                            b.store(b.sub(old, 1), addr(b, value, cur))
+            branch = b.and_(old, 1)
+            with b.if_then_else(b.ne(branch, 0)) as (then, otherwise):
+                with then:
+                    b.assign(cur, b.load(addr(b, s0, cur)))
+                with otherwise:
+                    alt = b.load(addr(b, s1, cur))
+                    taken = b.ne(alt, 0)
+                    with b.if_then_else(taken) as (t2, o2):
+                        with t2:
+                            b.assign(cur, alt)
+                        with o2:
+                            b.assign(cur, b.load(addr(b, s0, cur)))
+    check = b.mov(0)
+    with b.loop(0, nodes) as i:
+        b.assign(check, b.add(b.mul(check, 3), b.load(addr(b, value, i))))
+        b.assign(check, b.and_(check, 0xFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("gzip", "spec_int", "LZ77 window match search", has_hand=False)
+def build_gzip() -> Module:
+    n = 140
+    window = 24
+    rng = Lcg(109)
+    text = []
+    for i in range(n):
+        if i > 40 and rng.below(3) == 0:
+            start = rng.below(i - 20)
+            text.append(text[start])
+        else:
+            text.append(rng.below(8))
+    b = Builder()
+    buf = b.global_array("buf", n, 8, init_i64(text))
+    b.function("main", return_type=Type.I64)
+    check = b.mov(0)
+    pos = b.mov(window)
+    with b.while_loop(lambda: b.lt(pos, n)):
+        best_len = b.mov(0)
+        best_off = b.mov(0)
+        with b.loop(1, window, name="off") as off:
+            cand = b.sub(pos, off)
+            length = b.mov(0)
+            with b.loop(0, 8, name="m") as m:
+                i1 = b.add(pos, m)
+                i2 = b.add(cand, m)
+                within = b.lt(i1, n)
+                with b.if_then(within):
+                    a = b.load(addr(b, buf, i1))
+                    c = b.load(addr(b, buf, i2))
+                    same = b.and_(b.eq(a, c), b.eq(length, m))
+                    with b.if_then(same):
+                        b.assign(length, b.add(length, 1))
+            better = b.gt(length, best_len)
+            with b.if_then(better):
+                b.assign(best_len, length)
+                b.assign(best_off, off)
+        b.assign(check, b.add(b.mul(check, 7),
+                              b.add(b.mul(best_off, 17), best_len)))
+        b.assign(check, b.and_(check, 0xFFFFFFF))
+        stride = b.mov(1)
+        long_match = b.gt(best_len, 2)
+        with b.if_then(long_match):
+            b.assign(stride, best_len)
+        b.assign(pos, b.add(pos, stride))
+    b.ret(check)
+    return b.module
+
+
+@register("mcf", "spec_int", "network-simplex arc scanning", has_hand=False)
+def build_mcf() -> Module:
+    arcs = 500
+    nodes = 64
+    rng = Lcg(113)
+    tail = [rng.below(nodes) for _ in range(arcs)]
+    head = [rng.below(nodes) for _ in range(arcs)]
+    cost = [rng.below(100) + 1 for _ in range(arcs)]
+    b = Builder()
+    t = b.global_array("tail", arcs, 8, init_i64(tail))
+    h = b.global_array("head", arcs, 8, init_i64(head))
+    c = b.global_array("cost", arcs, 8, init_i64(cost))
+    potential = b.global_array("potential", nodes, 8,
+                               init_i64(rng.below(50) for _ in range(nodes)))
+    b.function("main", return_type=Type.I64)
+    total = b.mov(0)
+    with b.loop(0, 6, name="iters") as _it:
+        # Price-out scan: find most-negative reduced cost arc (pointer-
+        # chasing loads dominate, like mcf's pricing loop).
+        best = b.mov(0)
+        with b.loop(0, arcs) as a:
+            ta = b.load(addr(b, t, a))
+            ha = b.load(addr(b, h, a))
+            ca = b.load(addr(b, c, a))
+            pt = b.load(addr(b, potential, ta))
+            ph = b.load(addr(b, potential, ha))
+            reduced = b.sub(b.add(ca, ph), pt)
+            neg = b.lt(reduced, best)
+            with b.if_then(neg):
+                b.assign(best, reduced)
+        # Update potentials along a pseudo-cycle.
+        with b.loop(0, nodes) as v:
+            pv = b.load(addr(b, potential, v))
+            odd = b.and_(v, 1)
+            with b.if_then_else(b.ne(odd, 0)) as (then, otherwise):
+                with then:
+                    b.store(b.sub(pv, best), addr(b, potential, v))
+                with otherwise:
+                    b.store(b.add(pv, 1), addr(b, potential, v))
+        b.assign(total, b.sub(total, best))
+    b.ret(total)
+    return b.module
+
+
+@register("parser", "spec_int", "tokenizer + recursive descent",
+          has_hand=False)
+def build_parser() -> Module:
+    n = 300
+    rng = Lcg(127)
+    # Token stream: 0=num 1=plus 2=times 3=lparen 4=rparen, roughly
+    # balanced expressions generated host-side.
+    tokens = []
+    depth = 0
+    while len(tokens) < n:
+        r = rng.below(8)
+        if r < 3:
+            tokens.append(0)
+        elif r < 5:
+            tokens.append(1 + rng.below(2))
+        elif r < 6 and depth < 6:
+            tokens.append(3)
+            depth += 1
+        elif depth > 0:
+            tokens.append(4)
+            depth -= 1
+        else:
+            tokens.append(0)
+    tokens += [4] * depth
+    b = Builder()
+    toks = b.global_array("toks", len(tokens), 8, init_i64(tokens))
+    total_len = len(tokens)
+    b.function("main", return_type=Type.I64)
+    # Iterative shunting-yard-ish evaluation with an explicit stack
+    # (recursion flattened, as parser's actual hot loops are).
+    stack = b.global_array("stack", 64, 8)
+    sp = b.mov(0)
+    acc = b.mov(1)
+    pending = b.mov(0)   # 0 none, 1 plus, 2 times
+    check = b.mov(0)
+    with b.loop(0, total_len) as i:
+        tok = b.load(addr(b, toks, i))
+        is_num = b.eq(tok, 0)
+        with b.if_then(is_num):
+            value = b.add(b.and_(i, 7), 1)
+            apply_plus = b.eq(pending, 1)
+            with b.if_then_else(apply_plus) as (then, otherwise):
+                with then:
+                    b.assign(acc, b.add(acc, value))
+                with otherwise:
+                    apply_times = b.eq(pending, 2)
+                    with b.if_then_else(apply_times) as (t2, o2):
+                        with t2:
+                            b.assign(acc, b.and_(b.mul(acc, value), 0xFFFF))
+                        with o2:
+                            b.assign(acc, value)
+            b.assign(pending, 0)
+        is_op = b.and_(b.ge(tok, 1), b.le(tok, 2))
+        with b.if_then(is_op):
+            b.assign(pending, tok)
+        is_open = b.eq(tok, 3)
+        with b.if_then(is_open):
+            b.store(acc, addr(b, stack, sp))
+            b.store(pending, addr(b, stack, b.add(sp, 1)))
+            b.assign(sp, b.add(sp, 2))
+            b.assign(acc, 0)
+            b.assign(pending, 0)
+        is_close = b.eq(tok, 4)
+        has_frame = b.and_(is_close, b.gt(sp, 0))
+        with b.if_then(has_frame):
+            b.assign(sp, b.sub(sp, 2))
+            outer = b.load(addr(b, stack, sp))
+            op = b.load(addr(b, stack, b.add(sp, 1)))
+            was_plus = b.eq(op, 1)
+            with b.if_then_else(was_plus) as (then, otherwise):
+                with then:
+                    b.assign(acc, b.add(outer, acc))
+                with otherwise:
+                    was_times = b.eq(op, 2)
+                    with b.if_then_else(was_times) as (t2, o2):
+                        with t2:
+                            b.assign(acc, b.and_(b.mul(outer, acc), 0xFFFF))
+                        with o2:
+                            b.assign(acc, b.add(outer, acc))
+        b.assign(check, b.and_(b.add(b.mul(check, 3), acc), 0xFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("perlbmk", "spec_int", "string hashing and table ops",
+          has_hand=False)
+def build_perlbmk() -> Module:
+    n = 240
+    buckets = 64
+    rng = Lcg(131)
+    words = [rng.below(1 << 30) for _ in range(n)]
+    b = Builder()
+    keys = b.global_array("keys", n, 8, init_i64(words))
+    table = b.global_array("table", buckets, 8)
+    counts = b.global_array("counts", buckets, 8)
+    b.function("main", return_type=Type.I64)
+    # Hash insert phase (perl-ish multiplicative string hash).
+    with b.loop(0, n) as i:
+        key = b.load(addr(b, keys, i))
+        h = b.mov(5381)
+        with b.loop(0, 4, name="byte") as k:
+            byte = b.and_(b.shr(key, b.mul(k, 8)), 0xFF)
+            b.assign(h, b.and_(b.add(b.mul(h, 33), byte), 0xFFFFFFFF))
+        slot = b.and_(h, buckets - 1)
+        old = b.load(addr(b, table, slot))
+        b.store(b.xor(old, key), addr(b, table, slot))
+        cnt = b.load(addr(b, counts, slot))
+        b.store(b.add(cnt, 1), addr(b, counts, slot))
+    # Scan phase: find heavy buckets (branchy).
+    check = b.mov(0)
+    with b.loop(0, buckets) as s:
+        cnt = b.load(addr(b, counts, s))
+        val = b.load(addr(b, table, s))
+        heavy = b.gt(cnt, 4)
+        with b.if_then_else(heavy) as (then, otherwise):
+            with then:
+                b.assign(check, b.add(check, b.mul(cnt, 100)))
+            with otherwise:
+                b.assign(check, b.xor(check, b.and_(val, 0xFFFF)))
+    b.ret(check)
+    return b.module
+
+
+@register("twolf", "spec_int", "annealing-style placement swap loop",
+          has_hand=False)
+def build_twolf() -> Module:
+    cells = 48
+    rng = Lcg(137)
+    b = Builder()
+    pos = b.global_array("pos", cells, 8,
+                         init_i64(rng.below(64) for _ in range(cells)))
+    net_a = b.global_array("net_a", cells, 8,
+                           init_i64(rng.below(cells) for _ in range(cells)))
+    net_b = b.global_array("net_b", cells, 8,
+                           init_i64(rng.below(cells) for _ in range(cells)))
+    b.function("main", return_type=Type.I64)
+    seed = b.mov(0x1234_5678)
+    cost = b.mov(0)
+    accepted = b.mov(0)
+    with b.loop(0, 400, name="moves") as _m:
+        r = emit_lcg_step(b, seed)
+        a = b.rem(r, cells)
+        c = b.rem(b.shr(r, 8), cells)
+        pa = b.load(addr(b, pos, a))
+        pc = b.load(addr(b, pos, c))
+        # Wire-length delta for the two nets touching each cell.
+        na = b.load(addr(b, net_a, a))
+        nb = b.load(addr(b, net_b, a))
+        pna = b.load(addr(b, pos, na))
+        pnb = b.load(addr(b, pos, nb))
+        old_a = b.add(_absdiff(b, pa, pna), _absdiff(b, pa, pnb))
+        new_a = b.add(_absdiff(b, pc, pna), _absdiff(b, pc, pnb))
+        delta = b.sub(new_a, old_a)
+        take = b.or_(b.lt(delta, 0), b.eq(b.and_(r, 7), 0))
+        with b.if_then(take):
+            b.store(pc, addr(b, pos, a))
+            b.store(pa, addr(b, pos, c))
+            b.assign(cost, b.add(cost, delta))
+            b.assign(accepted, b.add(accepted, 1))
+    b.ret(b.add(b.mul(accepted, 1000), b.and_(cost, 0xFFFF)))
+    return b.module
+
+
+def _absdiff(b: Builder, x, y):
+    d = b.sub(x, y)
+    neg = b.lt(d, 0)
+    out = b.mov(d)
+    with b.if_then(neg):
+        b.assign(out, b.sub(0, d))
+    return out
+
+
+@register("vortex", "spec_int", "object-database insert/lookup",
+          has_hand=False)
+def build_vortex() -> Module:
+    capacity = 80
+    ops = 200
+    rng = Lcg(139)
+    b = Builder()
+    ids = b.global_array("ids", capacity, 8)
+    fields = b.global_array("fields", capacity * 4, 8)
+    b.function("main", return_type=Type.I64)
+    seed = b.mov(0xDEAD_BEEF)
+    count = b.mov(0)
+    check = b.mov(0)
+    with b.loop(0, ops) as _op:
+        r = emit_lcg_step(b, seed)
+        key = b.add(b.rem(r, 97), 1)
+        is_insert = b.lt(b.and_(r, 3), 2)
+        # Linear probe for the key.
+        found = b.mov(-1)
+        with b.loop(0, capacity) as s:
+            v = b.load(addr(b, ids, s))
+            hit = b.eq(v, key)
+            with b.if_then(hit):
+                b.assign(found, s)
+        with b.if_then_else(is_insert) as (then, otherwise):
+            with then:
+                missing = b.and_(b.lt(found, 0), b.lt(count, capacity))
+                with b.if_then(missing):
+                    b.store(key, addr(b, ids, count))
+                    base = b.mul(count, 4)
+                    with b.loop(0, 4, name="f") as f:
+                        b.store(b.add(b.mul(key, 7), f),
+                                addr(b, fields, b.add(base, f)))
+                    b.assign(count, b.add(count, 1))
+            with otherwise:
+                present = b.ge(found, 0)
+                with b.if_then(present):
+                    base = b.mul(found, 4)
+                    total = b.mov(0)
+                    with b.loop(0, 4, name="f") as f:
+                        b.assign(total, b.add(total, b.load(
+                            addr(b, fields, b.add(base, f)))))
+                    b.assign(check, b.and_(b.add(check, total), 0xFFFFFFF))
+    b.ret(b.add(check, b.mul(count, 10000)))
+    return b.module
+
+
+@register("vpr", "spec_int", "maze-routing wavefront expansion",
+          has_hand=False)
+def build_vpr() -> Module:
+    side = 20
+    rng = Lcg(149)
+    blocked = [1 if rng.below(5) == 0 else 0 for _ in range(side * side)]
+    blocked[0] = 0
+    blocked[side * side - 1] = 0
+    b = Builder()
+    grid = b.global_array("grid", side * side, 8, init_i64(blocked))
+    dist = b.global_array("dist", side * side, 8)
+    frontier = b.global_array("frontier", side * side * 4, 8)
+    b.function("main", return_type=Type.I64)
+    inf = 1 << 20
+    with b.loop(0, side * side) as i:
+        b.store(inf, addr(b, dist, i))
+    b.store(0, addr(b, dist, 0))
+    b.store(0, addr(b, frontier, 0))
+    head = b.mov(0)
+    tailp = b.mov(1)
+    with b.while_loop(lambda: b.lt(head, tailp)):
+        cell = b.load(addr(b, frontier, head))
+        b.assign(head, b.add(head, 1))
+        d = b.load(addr(b, dist, cell))
+        x = b.rem(cell, side)
+        y = b.div(cell, side)
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx = b.add(x, dx)
+            ny = b.add(y, dy)
+            inside = b.and_(b.and_(b.ge(nx, 0), b.lt(nx, side)),
+                            b.and_(b.ge(ny, 0), b.lt(ny, side)))
+            with b.if_then(inside):
+                ncell = b.add(b.mul(ny, side), nx)
+                blocked_v = b.load(addr(b, grid, ncell))
+                nd = b.load(addr(b, dist, ncell))
+                relax = b.and_(b.eq(blocked_v, 0),
+                               b.gt(nd, b.add(d, 1)))
+                with b.if_then(relax):
+                    b.store(b.add(d, 1), addr(b, dist, ncell))
+                    room = b.lt(tailp, side * side * 4)
+                    with b.if_then(room):
+                        b.store(ncell, addr(b, frontier, tailp))
+                        b.assign(tailp, b.add(tailp, 1))
+    goal = b.load(addr(b, dist, side * side - 1))
+    visited = b.mov(0)
+    with b.loop(0, side * side) as i:
+        d = b.load(addr(b, dist, i))
+        reached = b.lt(d, inf)
+        with b.if_then(reached):
+            b.assign(visited, b.add(visited, 1))
+    b.ret(b.add(b.mul(goal, 10000), visited))
+    return b.module

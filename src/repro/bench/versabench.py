@@ -1,0 +1,132 @@
+"""VersaBench bit/stream benchmarks (3 of 10, as in the paper):
+fmradio, 802.11a (convolutional encoder), and 8b10b (line coding)."""
+
+from __future__ import annotations
+
+from repro.bench._util import Lcg, addr, init_f64, init_i64
+from repro.bench.suites import register
+from repro.ir.builder import Builder
+from repro.ir.function import Module
+from repro.ir.types import Type
+
+
+@register("fmradio", "versabench", "FM demodulation pipeline (FIR + demod)")
+def build_fmradio() -> Module:
+    n = 192
+    taps = 8
+    rng = Lcg(23)
+    b = Builder()
+    samples = b.global_array("samples", n + taps, 8,
+                             init_f64(rng.float01() * 2.0 - 1.0
+                                      for _ in range(n + taps)))
+    lowpass = b.global_array("lowpass", taps, 8,
+                             init_f64(1.0 / (k + 2) for k in range(taps)))
+    filtered = b.global_array("filtered", n, 8)
+    demod = b.global_array("demod", n, 8)
+    b.function("main", return_type=Type.I64)
+    # Stage 1: low-pass FIR.
+    with b.loop(0, n) as i:
+        acc = b.mov(0.0)
+        with b.loop(0, taps) as k:
+            x = b.fload(addr(b, samples, b.add(i, k)))
+            h = b.fload(addr(b, lowpass, k))
+            b.assign(acc, b.fadd(acc, b.fmul(x, h)))
+        b.fstore(acc, addr(b, filtered, i))
+    # Stage 2: FM demodulation: out[i] = f[i] * f[i-1] (discriminator
+    # approximation without transcendentals).
+    with b.loop(1, n) as i:
+        cur = b.fload(addr(b, filtered, i))
+        prev = b.fload(addr(b, filtered, b.sub(i, 1)))
+        b.fstore(b.fmul(cur, prev), addr(b, demod, i))
+    # Stage 3: deemphasis IIR y = 0.75*y + 0.25*x, folded into checksum.
+    y = b.mov(0.0)
+    total = b.mov(0.0)
+    with b.loop(1, n) as i:
+        x = b.fload(addr(b, demod, i))
+        b.assign(y, b.fadd(b.fmul(y, 0.75), b.fmul(x, 0.25)))
+        b.assign(total, b.fadd(total, y))
+    b.ret(b.f2i(b.fmul(total, 65536.0)))
+    return b.module
+
+
+@register("802.11a", "versabench", "802.11a rate-1/2 convolutional encoder")
+def build_80211a() -> Module:
+    n = 384
+    rng = Lcg(29)
+    b = Builder()
+    bits = b.global_array("bits", n, 8,
+                          init_i64(rng.below(2) for _ in range(n)))
+    encoded = b.global_array("encoded", 2 * n, 8)
+    b.function("main", return_type=Type.I64)
+    # K=7 encoder, generators 0o133 and 0o171 over a shift register.
+    state = b.mov(0)
+    with b.loop(0, n) as i:
+        bit = b.load(addr(b, bits, i))
+        b.assign(state, b.or_(b.shl(state, 1), bit))
+        # Output A: parity of state & 0o133.
+        va = b.and_(state, 0o133)
+        pa = b.mov(0)
+        with b.loop(0, 7) as k:
+            b.assign(pa, b.xor(pa, b.and_(b.shr(va, k), 1)))
+        # Output B: parity of state & 0o171.
+        vb = b.and_(state, 0o171)
+        pb = b.mov(0)
+        with b.loop(0, 7) as k:
+            b.assign(pb, b.xor(pb, b.and_(b.shr(vb, k), 1)))
+        two_i = b.shl(i, 1)
+        b.store(pa, addr(b, encoded, two_i))
+        b.store(pb, addr(b, encoded, b.add(two_i, 1)))
+    # Interleave + checksum.
+    check = b.mov(0)
+    with b.loop(0, 2 * n) as i:
+        v = b.load(addr(b, encoded, i))
+        b.assign(check, b.add(b.mul(check, 3), v))
+        b.assign(check, b.and_(check, 0xFFFFFFFF))
+    b.ret(check)
+    return b.module
+
+
+@register("8b10b", "versabench", "8b/10b line encoder with lookup tables")
+def build_8b10b() -> Module:
+    n = 512
+    rng = Lcg(31)
+    # Precompute 5b/6b and 3b/4b sub-block tables (values arbitrary but
+    # fixed; the workload is the table lookups and disparity tracking).
+    five_six = [(v * 37 + 13) & 0x3F for v in range(32)]
+    three_four = [(v * 11 + 5) & 0xF for v in range(8)]
+    b = Builder()
+    data = b.global_array("data", n, 8,
+                          init_i64(rng.below(256) for _ in range(n)))
+    t56 = b.global_array("t56", 32, 8, init_i64(five_six))
+    t34 = b.global_array("t34", 8, 8, init_i64(three_four))
+    out = b.global_array("out", n, 8)
+    b.function("main", return_type=Type.I64)
+    disparity = b.mov(0)
+    with b.loop(0, n) as i:
+        byte = b.load(addr(b, data, i))
+        low = b.and_(byte, 31)
+        high = b.shr(byte, 5)
+        code6 = b.load(addr(b, t56, low))
+        code4 = b.load(addr(b, t34, high))
+        word = b.or_(b.shl(code6, 4), code4)
+        # Disparity: count ones in the 10-bit word, adjust running
+        # disparity, complement the word when it would drift.
+        ones = b.mov(0)
+        with b.loop(0, 10) as k:
+            b.assign(ones, b.add(ones, b.and_(b.shr(word, k), 1)))
+        balance = b.sub(b.mul(ones, 2), 10)
+        drift = b.add(disparity, balance)
+        c = b.gt(b.mul(drift, drift), 4)
+        with b.if_then_else(c) as (then, otherwise):
+            with then:
+                b.store(b.xor(word, 0x3FF), addr(b, out, i))
+                b.assign(disparity, b.sub(disparity, balance))
+            with otherwise:
+                b.store(word, addr(b, out, i))
+                b.assign(disparity, drift)
+    check = b.mov(0)
+    with b.loop(0, n) as i:
+        b.assign(check, b.xor(b.mul(check, 5), b.load(addr(b, out, i))))
+        b.assign(check, b.and_(check, 0xFFFFFFFF))
+    b.ret(check)
+    return b.module

@@ -1,0 +1,637 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Every driver returns a ``(headers, rows, note)`` triple and has a
+``render_*`` companion producing the text table the bench harness prints.
+All drivers share :data:`repro.eval.runner.SHARED_RUNNER` so simulations
+are reused across figures within a session.
+
+Benchmark sets follow the paper: "simple" = kernels + VersaBench + the
+eight named EEMBC programs (with compiled C and hand-optimized H
+variants); SPEC = the 10 + 8 proxies (compiled only — the paper hand-
+optimizes only the simple benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench import by_suite, get as get_benchmark, simple_benchmarks
+from repro.eval.report import arithmean, format_table, geomean
+from repro.eval.runner import Runner, SHARED_RUNNER
+from repro.ir.builder import Builder
+from repro.ir.types import Type
+from repro.opt import optimize
+from repro.refmodels import PLATFORMS, PUBLISHED_MATMUL_FPC
+from repro.trips import lower_module as lower_trips
+from repro.uarch import (
+    AlphaTournamentPredictor, NextBlockPredictor, TripsConfig,
+    improved_predictor_config, run_cycles,
+)
+from repro.isa import static_code_size, dynamic_code_size
+
+#: SPEC benchmark name lists (proxy programs).
+SPEC_INT = ("bzip2", "crafty", "gcc", "gzip", "mcf", "parser", "perlbmk",
+            "twolf", "vortex", "vpr")
+SPEC_FP = ("applu", "apsi", "art", "equake", "mesa", "mgrid", "swim",
+           "wupwise")
+EEMBC8 = ("a2time", "rspeed", "ospf", "routelookup", "autocor", "conven",
+          "fbital", "fft")
+SIMPLE = EEMBC8 + ("802.11a", "8b10b", "fmradio", "ct", "conv", "matrix",
+                   "vadd")
+
+
+# ---------------------------------------------------------------------------
+# Table 1 / Table 2 — static configuration tables.
+# ---------------------------------------------------------------------------
+
+def table1_platforms():
+    config = TripsConfig()
+    rows = [
+        ["TRIPS", f"{config.clock_mhz} MHz", "200 MHz", "1.83",
+         "32 KB / 80 KB", "1 MB", "2 GB"],
+    ]
+    for key in ("core2", "p4", "p3"):
+        spec = PLATFORMS[key]
+        ratio = {"core2": "2.00", "p4": "6.75", "p3": "4.50"}[key]
+        mem = {"core2": "800 MHz", "p4": "533 MHz", "p3": "100 MHz"}[key]
+        l1 = f"{spec.l1d_bytes // 1024} KB"
+        l2 = f"{spec.l2_bytes // (1024 * 1024)} MB" \
+            if spec.l2_bytes >= 1 << 20 else f"{spec.l2_bytes // 1024} KB"
+        rows.append([spec.name, f"{spec.clock_mhz} MHz", mem, ratio,
+                     l1, l2, "2 GB"])
+    headers = ["System", "Proc Speed", "Mem Speed", "Ratio",
+               "L1 (D/I)", "L2", "Memory"]
+    return headers, rows, "Reference platforms (paper Table 1)."
+
+
+def table2_suites():
+    rows = []
+    for suite in ("kernels", "versabench", "eembc", "spec_int", "spec_fp"):
+        benchmarks = by_suite(suite)
+        names = ", ".join(b.name for b in benchmarks)
+        rows.append([suite, len(benchmarks), names])
+    return (["Suite", "#", "Benchmarks"], rows,
+            "Benchmark suites (paper Table 2).")
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — block size and composition.
+# ---------------------------------------------------------------------------
+
+_COMPOSITION_KEYS = ("memory", "control", "arith", "test", "move",
+                     "executed_not_used", "fetched_not_executed")
+
+
+def _composition_row(runner: Runner, name: str, variant: str) -> List[float]:
+    stats = runner.trips_functional(name, variant)
+    blocks = max(stats.blocks_committed, 1)
+    per_block = [stats.composition.get(k, 0) / blocks
+                 for k in _COMPOSITION_KEYS]
+    return per_block + [stats.fetched / blocks]
+
+
+def fig3_block_composition(runner: Runner = SHARED_RUNNER,
+                           benchmarks: Sequence[str] = SIMPLE,
+                           include_spec: bool = True):
+    headers = ["Benchmark", "Var"] + [k[:7] for k in _COMPOSITION_KEYS] \
+        + ["avg block"]
+    rows = []
+    for name in benchmarks:
+        rows.append([name, "C"] + _composition_row(runner, name, "compiled"))
+        if get_benchmark(name).has_hand:
+            rows.append([name, "H"] + _composition_row(runner, name, "hand"))
+    suites = [("EEMBC mean", EEMBC8)]
+    if include_spec:
+        suites += [("SPECINT mean", SPEC_INT), ("SPECFP mean", SPEC_FP)]
+    for label, names in suites:
+        per = [_composition_row(runner, n, "compiled") for n in names]
+        mean = [arithmean([row[i] for row in per]) for i in range(len(per[0]))]
+        rows.append([label, "C"] + mean)
+    note = ("Average dynamic block composition in instructions "
+            "(paper Figure 3; paper reports compiled mean ~64).")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — instruction overhead vs PowerPC.
+# ---------------------------------------------------------------------------
+
+def _fig4_row(runner: Runner, name: str, variant: str) -> List[float]:
+    trips = runner.trips_functional(name, variant)
+    ppc = runner.powerpc(name)
+    base = max(ppc.executed, 1)
+    return [trips.useful / base,
+            trips.moves_executed / base,
+            trips.executed_not_used / base,
+            trips.fetched_not_executed / base,
+            trips.fetched / base]
+
+
+def fig4_instruction_overhead(runner: Runner = SHARED_RUNNER,
+                              benchmarks: Sequence[str] = SIMPLE,
+                              include_spec: bool = True):
+    headers = ["Benchmark", "Var", "useful", "moves", "exec-unused",
+               "fetch-unexec", "total"]
+    rows = []
+    for name in benchmarks:
+        rows.append([name, "C"] + _fig4_row(runner, name, "compiled"))
+        if get_benchmark(name).has_hand:
+            rows.append([name, "H"] + _fig4_row(runner, name, "hand"))
+    suites = [("EEMBC gmean", EEMBC8)]
+    if include_spec:
+        suites += [("SPECINT gmean", SPEC_INT), ("SPECFP gmean", SPEC_FP)]
+    for label, names in suites:
+        per = [_fig4_row(runner, n, "compiled") for n in names]
+        rows.append([label, "C"] + [
+            geomean([row[i] for row in per]) for i in range(len(per[0]))])
+    note = ("TRIPS fetched instructions normalized to PowerPC executed "
+            "(paper Figure 4: 2-6x overall; useful ~1x).")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — storage accesses vs PowerPC.
+# ---------------------------------------------------------------------------
+
+def _fig5_row(runner: Runner, name: str, variant: str) -> List[float]:
+    trips = runner.trips_functional(name, variant)
+    ppc = runner.powerpc(name)
+    mem_base = max(ppc.loads + ppc.stores, 1)
+    reg_base = max(ppc.register_reads + ppc.register_writes, 1)
+    return [
+        (trips.loads_executed + trips.stores_committed) / mem_base,
+        (trips.reads_fetched + trips.writes_committed) / reg_base,
+        trips.operands_delivered / reg_base,
+    ]
+
+
+def fig5_storage_accesses(runner: Runner = SHARED_RUNNER,
+                          benchmarks: Sequence[str] = SIMPLE,
+                          include_spec: bool = True):
+    headers = ["Benchmark", "Var", "mem/PPCmem", "regRW/PPCregRW",
+               "operands/PPCregRW"]
+    rows = []
+    for name in benchmarks:
+        rows.append([name, "C"] + _fig5_row(runner, name, "compiled"))
+        if get_benchmark(name).has_hand:
+            rows.append([name, "H"] + _fig5_row(runner, name, "hand"))
+    suites = [("EEMBC gmean", EEMBC8)]
+    if include_spec:
+        suites += [("SPECINT gmean", SPEC_INT), ("SPECFP gmean", SPEC_FP)]
+    for label, names in suites:
+        per = [_fig5_row(runner, n, "compiled") for n in names]
+        rows.append([label, "C"] + [
+            geomean([row[i] for row in per]) for i in range(len(per[0]))])
+    note = ("Storage accesses normalized to PowerPC (paper Figure 5: "
+            "memory ~0.5x, register file accesses 0.1-0.2x).")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Section 4.4 — code size.
+# ---------------------------------------------------------------------------
+
+def sec44_code_size(runner: Runner = SHARED_RUNNER,
+                    benchmarks: Sequence[str] = SIMPLE):
+    from repro.risc import lower_module as lower_risc
+
+    headers = ["Benchmark", "raw/PPC", "compressed/PPC",
+               "dyn raw/PPC", "dyn compressed/PPC"]
+    rows = []
+    ratios = []
+    for name in benchmarks:
+        lowered = runner.trips_lowered(name, "compiled")
+        stats = runner.trips_functional(name, "compiled")
+        risc_program = lower_risc(optimize(runner.module(name), "O2"))
+        ppc_static = risc_program.code_bytes()
+        ppc_stats = runner.powerpc(name)
+        ppc_dynamic = max(ppc_stats.dynamic_code_bytes(), 1)
+        report = dynamic_code_size(lowered.program, stats.fetched_blocks)
+        row = [name,
+               report.static_bytes_raw / max(ppc_static, 1),
+               report.static_bytes_compressed / max(ppc_static, 1),
+               report.dynamic_bytes_raw / ppc_dynamic,
+               report.dynamic_bytes_compressed / ppc_dynamic]
+        rows.append(row)
+        ratios.append(row[1:])
+    rows.append(["geomean"] + [
+        geomean([r[i] for r in ratios]) for i in range(4)])
+    note = ("Code size relative to PowerPC (paper Section 4.4: dynamic "
+            "~6x raw, ~4x with block compression).")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — window occupancy.
+# ---------------------------------------------------------------------------
+
+def fig6_window_occupancy(runner: Runner = SHARED_RUNNER,
+                          benchmarks: Sequence[str] = SIMPLE,
+                          spec: Sequence[str] = SPEC_INT + SPEC_FP):
+    headers = ["Benchmark", "Var", "in-flight", "useful in-flight"]
+    rows = []
+    totals = {"C": [], "H": []}
+    for name in benchmarks:
+        stats, _ = runner.trips_cycles(name, "compiled")
+        rows.append([name, "C", stats.avg_instructions_in_window,
+                     stats.avg_useful_in_window])
+        totals["C"].append(stats.avg_instructions_in_window)
+        if get_benchmark(name).has_hand:
+            stats, _ = runner.trips_cycles(name, "hand")
+            rows.append([name, "H", stats.avg_instructions_in_window,
+                         stats.avg_useful_in_window])
+            totals["H"].append(stats.avg_instructions_in_window)
+    for name in spec:
+        stats, _ = runner.trips_cycles(name, "compiled")
+        rows.append([name, "C", stats.avg_instructions_in_window,
+                     stats.avg_useful_in_window])
+        totals["C"].append(stats.avg_instructions_in_window)
+    rows.append(["mean compiled", "C", arithmean(totals["C"]), ""])
+    if totals["H"]:
+        rows.append(["mean hand", "H", arithmean(totals["H"]), ""])
+    note = ("Average instructions in flight (paper Figure 6: compiled "
+            "~450, hand ~630 of the 1024-entry window).")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — next-block prediction study.
+# ---------------------------------------------------------------------------
+
+def _run_alpha_on_trace(trace) -> Tuple[int, int]:
+    """Config A: Alpha-like tournament + RAS over basic-block code."""
+    import zlib
+    predictor = AlphaTournamentPredictor()
+    ras: List[str] = []
+    predictions = 0
+    mispredictions = 0
+    # Build per-label exit arity knowledge on the fly: a two-exit block is
+    # a conditional branch; calls/returns use the RAS.
+    for label, exit_index, kind, target, cont in trace.events:
+        predictions += 1
+        pc = zlib.crc32(label.encode())
+        if kind == "ret":
+            predicted = ras.pop() if ras else None
+            if predicted != target:
+                mispredictions += 1
+            continue
+        if kind == "call":
+            ras.append(cont)
+            if len(ras) > 16:
+                ras.pop(0)
+            continue
+        taken = exit_index == 0
+        if predictor.predict(pc) != taken:
+            mispredictions += 1
+        predictor.update(pc, taken)
+    return predictions, mispredictions
+
+
+def _run_trips_predictor(trace, config: TripsConfig) -> Tuple[int, int]:
+    predictor = NextBlockPredictor(config)
+    for label, exit_index, kind, target, cont in trace.events:
+        predictor.predict_and_update(label, exit_index, kind, target, cont)
+    stats = predictor.stats
+    return stats.predictions, stats.mispredictions
+
+
+def fig7_prediction(runner: Runner = SHARED_RUNNER,
+                    benchmarks: Sequence[str] = SPEC_INT + SPEC_FP):
+    headers = ["Benchmark", "A mpred%", "B mpred%", "H mpred%", "I mpred%",
+               "A MPKI", "B MPKI", "H MPKI", "I MPKI"]
+    rows = []
+    mpki_acc = {k: [] for k in "ABHI"}
+    for name in benchmarks:
+        basic = runner.block_trace(name, "basic")
+        hyper = runner.block_trace(name, "hyper")
+        useful = max(runner.trips_functional(name).useful, 1)
+        base = max(basic.blocks, 1)
+        pa, ma = _run_alpha_on_trace(basic)
+        pb, mb = _run_trips_predictor(basic, TripsConfig())
+        ph, mh = _run_trips_predictor(hyper, TripsConfig())
+        pi, mi = _run_trips_predictor(hyper, improved_predictor_config())
+        rows.append([
+            name,
+            100.0 * ma / base, 100.0 * mb / base,
+            100.0 * mh / base, 100.0 * mi / base,
+            1000.0 * ma / useful, 1000.0 * mb / useful,
+            1000.0 * mh / useful, 1000.0 * mi / useful,
+        ])
+        for key, m in zip("ABHI", (ma, mb, mh, mi)):
+            mpki_acc[key].append(1000.0 * m / useful)
+    rows.append(["mean", "", "", "", ""] + [
+        arithmean(mpki_acc[k]) for k in "ABHI"])
+    note = ("Prediction study (paper Figure 7).  A: Alpha-like tournament "
+            "on basic blocks; B: TRIPS predictor on basic blocks; H: TRIPS "
+            "predictor on hyperblocks; I: scaled target predictor.  "
+            "Mispredictions normalized to basic-block prediction count; "
+            "MPKI per 1000 useful instructions (paper SPECINT: "
+            "14.9/14.8/8.5/6.9).")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — memory bandwidth and OPN profile.
+# ---------------------------------------------------------------------------
+
+def _streaming_module(doubles: int, stride: int = 1, lanes: int = 8):
+    """Bandwidth microbenchmark in the spirit of the paper's hand-tuned
+    vadd: ``lanes`` independent load/store streams per iteration so the
+    memory operations — not a serial accumulator — are the bottleneck."""
+    builder = Builder()
+    data = builder.global_array("stream", doubles, 8)
+    builder.function("main", return_type=Type.I64)
+    # Warm/initialize with `lanes` independent store streams.
+    span = doubles // lanes
+    with builder.loop(0, span, stride) as i:
+        offset = builder.shl(i, 3)
+        for lane in range(lanes):
+            address = builder.add(data + lane * span * 8, offset)
+            builder.store(lane, address)
+    totals = [builder.mov(0) for _ in range(lanes)]
+    with builder.loop(0, span, stride) as i:
+        offset = builder.shl(i, 3)
+        for lane in range(lanes):
+            address = builder.add(data + lane * span * 8, offset)
+            builder.assign(totals[lane],
+                           builder.add(totals[lane],
+                                       builder.load(address)))
+    result = builder.mov(0)
+    for lane_total in totals:
+        builder.assign(result, builder.add(result, lane_total))
+    builder.ret(result)
+    return builder.module
+
+
+def fig8_bandwidth(runner: Runner = SHARED_RUNNER):
+    config = TripsConfig()
+    mhz = config.clock_mhz
+    levels = [
+        ("L1-D to proc", 2 * 1024, 1),          # 16 KB footprint: L1 resident
+        ("L2 to L1", 24 * 1024, 8),             # 192 KB: L2 resident, line strides
+        ("Memory to L2", 160 * 1024, 8),        # 1.25 MB: spills to DRAM
+    ]
+    headers = ["Interface", "accesses", "achieved GB/s", "peak GB/s",
+               "% of peak"]
+    rows = []
+    for label, doubles, stride in levels:
+        module = _streaming_module(doubles, stride)
+        lowered = lower_trips(optimize(module, "HAND"))
+        result, sim = run_cycles(lowered, memory_size=32 * 1024 * 1024)
+        cycles = max(sim.stats.cycles, 1)
+        seconds = cycles / (mhz * 1e6)
+        if label == "L1-D to proc":
+            bytes_moved = sim.stats.l1d_bytes
+            peak = 4 * 8 * mhz * 1e6 / 1e9          # 4 banks x 8B/cycle
+        elif label == "L2 to L1":
+            bytes_moved = sim.hierarchy.l1d.stats.misses * config.l1d_line_bytes
+            peak = 2 * config.l1d_line_bytes * mhz * 1e6 / 2 / 1e9
+        else:
+            bytes_moved = sim.hierarchy.dram.accesses * config.l2_line_bytes
+            peak = 2 * config.l2_line_bytes * mhz * 1e6 \
+                / config.dram_occupancy_cycles / 1e9
+        achieved = bytes_moved / seconds / 1e9
+        rows.append([label, sim.stats.loads + sim.stats.stores,
+                     achieved, peak, 100.0 * achieved / peak])
+    note = ("Streaming bandwidth (paper Figure 8 table: L1 96.5%, L2 "
+            "98.5%, memory 57.8% of peak).")
+    return headers, rows, note
+
+
+def fig8_opn_profile(runner: Runner = SHARED_RUNNER):
+    cases = [("EEMBC mean", EEMBC8, "compiled"),
+             ("SPEC-gcc", ("gcc",), "compiled"),
+             ("vadd-hand", ("vadd",), "hand"),
+             ("matrix-hand", ("matrix",), "hand")]
+    headers = ["Case", "avg hops"] + [f"{h} hops" for h in range(6)] \
+        + ["ET-ET share"]
+    rows = []
+    for label, names, variant in cases:
+        packets = {}
+        hops = {}
+        histogram = {}
+        for name in names:
+            _, sim = runner.trips_cycles(name, variant)
+            stats = sim.opn.stats
+            for k, v in stats.packets.items():
+                packets[k] = packets.get(k, 0) + v
+            for k, v in stats.hops.items():
+                hops[k] = hops.get(k, 0) + v
+            for k, v in stats.hop_histogram.items():
+                histogram[k] = histogram.get(k, 0) + v
+        total_packets = max(sum(packets.values()), 1)
+        total_hops = sum(hops.values())
+        hop_fracs = []
+        for h in range(6):
+            count = sum(v for (klass, hh), v in histogram.items() if hh == h)
+            hop_fracs.append(count / total_packets)
+        etet = packets.get("ET-ET", 0) / total_packets
+        rows.append([label, total_hops / total_packets] + hop_fracs + [etet])
+    note = ("OPN traffic profile (paper Figure 8 graph: EEMBC 1.46, gcc "
+            "1.57, vadd 1.86, matrix 1.12 average hops; ~half of ET-ET "
+            "operands bypass locally).")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 / Figure 10 — IPC and the ideal-machine limit study.
+# ---------------------------------------------------------------------------
+
+def fig9_ipc(runner: Runner = SHARED_RUNNER,
+             benchmarks: Sequence[str] = SIMPLE,
+             spec: Sequence[str] = SPEC_INT + SPEC_FP):
+    headers = ["Benchmark", "Var", "IPC", "useful IPC", "fetched IPC"]
+    rows = []
+    means = {"C": [], "H": []}
+    for name in benchmarks:
+        stats, _ = runner.trips_cycles(name, "compiled")
+        rows.append([name, "C", stats.ipc, stats.useful_ipc,
+                     stats.fetched_ipc])
+        means["C"].append(stats.ipc)
+        if get_benchmark(name).has_hand:
+            stats, _ = runner.trips_cycles(name, "hand")
+            rows.append([name, "H", stats.ipc, stats.useful_ipc,
+                         stats.fetched_ipc])
+            means["H"].append(stats.ipc)
+    spec_means = []
+    for name in spec:
+        stats, _ = runner.trips_cycles(name, "compiled")
+        rows.append([name, "C", stats.ipc, stats.useful_ipc,
+                     stats.fetched_ipc])
+        spec_means.append(stats.ipc)
+    rows.append(["simple mean", "C", arithmean(means["C"]), "", ""])
+    if means["H"]:
+        rows.append(["simple mean", "H", arithmean(means["H"]), "", ""])
+    rows.append(["SPEC mean", "C", arithmean(spec_means), "", ""])
+    note = ("Sustained IPC (paper Figure 9: hand ~1.5x compiled; some "
+            "kernels reach 6-10).")
+    return headers, rows, note
+
+
+def fig10_ideal_ilp(runner: Runner = SHARED_RUNNER,
+                    benchmarks: Sequence[str] = SIMPLE,
+                    spec: Sequence[str] = SPEC_INT + SPEC_FP):
+    headers = ["Benchmark", "Var", "HW IPC", "ideal 1K/8", "ideal 1K/0",
+               "ideal 128K/0"]
+    rows = []
+    ratios = []
+    for name, variant in [(n, "compiled") for n in benchmarks + tuple(spec)] \
+            + [(n, "hand") for n in benchmarks
+               if get_benchmark(n).has_hand]:
+        hw, _ = runner.trips_cycles(name, variant)
+        ideal = runner.ideal(name, variant, 1024, 8)
+        ideal0 = runner.ideal(name, variant, 1024, 0)
+        big = runner.ideal(name, variant, 128 * 1024, 0)
+        rows.append([name, "C" if variant == "compiled" else "H",
+                     hw.ipc, ideal.ipc, ideal0.ipc, big.ipc])
+        if hw.ipc > 0:
+            ratios.append(ideal.ipc / hw.ipc)
+    rows.append(["geomean ideal/HW", "", "", geomean(ratios), "", ""])
+    note = ("Ideal EDGE machine limit study (paper Figure 10: ideal 1K "
+            "window ~2.5x the prototype; 128K-window IPCs reach the "
+            "hundreds for concurrent kernels).")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 / Figure 12 — speedups vs Core 2.
+# ---------------------------------------------------------------------------
+
+def _speedup_rows(runner: Runner, names: Iterable[str],
+                  include_hand: bool) -> List[List[object]]:
+    rows = []
+    for name in names:
+        base = runner.platform(name, "core2", "O2").cycles
+        trips_c, _ = runner.trips_cycles(name, "compiled")
+        row = [name,
+               base / max(runner.platform(name, "p3", "O2").cycles, 1),
+               base / max(runner.platform(name, "p4", "O2").cycles, 1),
+               base / max(runner.platform(name, "core2", "ICC").cycles, 1),
+               base / max(trips_c.cycles, 1)]
+        if include_hand and get_benchmark(name).has_hand:
+            trips_h, _ = runner.trips_cycles(name, "hand")
+            row.append(base / max(trips_h.cycles, 1))
+        elif include_hand:
+            row.append("")
+        rows.append(row)
+    return rows
+
+
+def fig11_simple_speedup(runner: Runner = SHARED_RUNNER,
+                         benchmarks: Sequence[str] = SIMPLE):
+    headers = ["Benchmark", "P3-gcc", "P4-gcc", "Core2-icc",
+               "TRIPS-compiled", "TRIPS-hand"]
+    rows = _speedup_rows(runner, benchmarks, include_hand=True)
+    for column, label in ((4, "gmean TRIPS-C"), (5, "gmean TRIPS-H")):
+        values = [r[column] for r in rows if isinstance(r[column], float)]
+        rows.append([label] + [""] * (column - 1) + [geomean(values)]
+                    + [""] * (len(headers) - column - 1))
+    note = ("Speedup over Core 2-gcc in cycles (paper Figure 11: TRIPS "
+            "compiled ~1.5x, hand ~2.9x).")
+    return headers, rows, note
+
+
+def fig12_spec_speedup(runner: Runner = SHARED_RUNNER,
+                       spec_int: Sequence[str] = SPEC_INT,
+                       spec_fp: Sequence[str] = SPEC_FP):
+    headers = ["Benchmark", "P3-gcc", "P4-gcc", "Core2-icc",
+               "TRIPS-compiled"]
+    rows = _speedup_rows(runner, spec_int, include_hand=False)
+    int_mean = geomean([r[4] for r in rows])
+    fp_rows = _speedup_rows(runner, spec_fp, include_hand=False)
+    fp_mean = geomean([r[4] for r in fp_rows])
+    rows += fp_rows
+    rows.append(["SPECINT gmean", "", "", "", int_mean])
+    rows.append(["SPECFP gmean", "", "", "", fp_mean])
+    note = ("SPEC speedup over Core 2-gcc (paper Figure 12: INT <0.5x, "
+            "FP ~1.0x for TRIPS compiled).")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — SPEC performance-counter detail.
+# ---------------------------------------------------------------------------
+
+def table3_counters(runner: Runner = SHARED_RUNNER,
+                    benchmarks: Sequence[str] = SPEC_INT + SPEC_FP):
+    headers = ["Benchmark", "C2 br/Ki", "TR br/Ki", "TR c-r/Ki",
+               "C2 I$/Ki", "TR I$/Ki", "TR ldflush/Ki",
+               "blk*8", "useful in flight"]
+    rows = []
+    for name in benchmarks:
+        trips, _ = runner.trips_cycles(name, "compiled")
+        func = runner.trips_functional(name)
+        core2 = runner.platform(name, "core2", "O2")
+        useful = max(trips.useful, 1)
+        avg_block = func.fetched / max(func.blocks_committed, 1)
+        rows.append([
+            name,
+            1000.0 * core2.branch_mispredictions / useful,
+            trips.per_kilo_useful(trips.branch_mispredictions),
+            trips.per_kilo_useful(trips.call_ret_mispredictions),
+            1000.0 * core2.icache_misses / useful,
+            trips.per_kilo_useful(trips.icache_misses),
+            trips.per_kilo_useful(trips.load_flushes),
+            avg_block * 8,
+            trips.avg_useful_in_window,
+        ])
+    note = ("Per-1000-useful-instruction event rates (paper Table 3).")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Section 6 — matrix-multiply FLOPS per cycle.
+# ---------------------------------------------------------------------------
+
+def sec6_matmul_fpc(runner: Runner = SHARED_RUNNER):
+    stats, _ = runner.trips_cycles("matrix", "hand")
+    func = runner.trips_functional("matrix", "hand")
+    flops = func.composition.get("arith", 0)  # flop-dominated kernel
+    # Count the actual FP operations from the functional composition is
+    # coarse; derive from the algorithm instead: 2*n^3 flops.
+    n = 20
+    flops = 2 * n * n * n
+    measured = flops / max(stats.cycles, 1)
+    headers = ["Platform", "FPC"]
+    rows = [["TRIPS (measured, hand)", measured]]
+    for label, value in PUBLISHED_MATMUL_FPC.items():
+        rows.append([f"{label} (published)", value])
+    note = ("Matrix-multiply FLOPS per cycle (paper Section 6: TRIPS 5.20 "
+            "vs Core 2 SSE 3.58).  Published figures quoted as in the "
+            "paper; ours is measured on the cycle model.")
+    return headers, rows, note
+
+
+# ---------------------------------------------------------------------------
+# Rendering helpers.
+# ---------------------------------------------------------------------------
+
+_EXPERIMENTS = {
+    "table1": (table1_platforms, "Table 1: reference platforms"),
+    "table2": (table2_suites, "Table 2: benchmark suites"),
+    "fig3": (fig3_block_composition, "Figure 3: block composition"),
+    "fig4": (fig4_instruction_overhead, "Figure 4: instructions vs PowerPC"),
+    "fig5": (fig5_storage_accesses, "Figure 5: storage accesses vs PowerPC"),
+    "sec44": (sec44_code_size, "Section 4.4: code size"),
+    "fig6": (fig6_window_occupancy, "Figure 6: window occupancy"),
+    "fig7": (fig7_prediction, "Figure 7: next-block prediction"),
+    "fig8a": (fig8_bandwidth, "Figure 8: memory bandwidth"),
+    "fig8b": (fig8_opn_profile, "Figure 8: OPN profile"),
+    "fig9": (fig9_ipc, "Figure 9: sustained IPC"),
+    "fig10": (fig10_ideal_ilp, "Figure 10: ideal-machine ILP"),
+    "fig11": (fig11_simple_speedup, "Figure 11: simple-benchmark speedup"),
+    "fig12": (fig12_spec_speedup, "Figure 12: SPEC speedup"),
+    "table3": (table3_counters, "Table 3: SPEC counter detail"),
+    "sec6": (sec6_matmul_fpc, "Section 6: matmul FLOPS/cycle"),
+}
+
+
+def experiment_names() -> List[str]:
+    return list(_EXPERIMENTS)
+
+
+def run_experiment(key: str, **kwargs) -> str:
+    """Run one experiment by key and return its rendered table."""
+    driver, title = _EXPERIMENTS[key]
+    headers, rows, note = driver(**kwargs)
+    return format_table(title, headers, rows, note)

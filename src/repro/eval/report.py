@@ -1,0 +1,54 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 note: str = "") -> str:
+    """Render an aligned text table with a title rule."""
+    materialized: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    rule = "-" * max(len(title), sum(widths) + 2 * (len(widths) - 1))
+    parts = [title, rule, line(headers), rule]
+    parts.extend(line(row) for row in materialized)
+    parts.append(rule)
+    if note:
+        parts.append(note)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (ignores non-positive entries defensively)."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        return 0.0
+    product = 1.0
+    for v in cleaned:
+        product *= v
+    return product ** (1.0 / len(cleaned))
+
+
+def arithmean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,42 @@
+"""Machine-independent compiler IR.
+
+Public surface:
+
+* :class:`~repro.ir.types.Type` — scalar types (I64, F64).
+* :class:`~repro.ir.values.VReg`, :class:`~repro.ir.values.Const` — operands.
+* :class:`~repro.ir.instructions.Instruction`, :class:`~repro.ir.instructions.Opcode`.
+* :class:`~repro.ir.function.Module`, :class:`~repro.ir.function.Function`,
+  :class:`~repro.ir.function.BasicBlock`, :class:`~repro.ir.function.GlobalData`.
+* :class:`~repro.ir.builder.Builder` — front-end construction API.
+* :func:`~repro.ir.verify.verify_module` — structural/typing checks.
+* :class:`~repro.ir.interp.Interpreter` — reference executor (golden model).
+"""
+
+from repro.ir.builder import Builder
+from repro.ir.function import BasicBlock, Function, GlobalData, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.interp import Interpreter, Memory, TrapError, run_module
+from repro.ir.types import Type
+from repro.ir.values import Const, VReg, const
+from repro.ir.verify import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "Builder",
+    "Const",
+    "Function",
+    "GlobalData",
+    "Instruction",
+    "Interpreter",
+    "Memory",
+    "Module",
+    "Opcode",
+    "TrapError",
+    "Type",
+    "VReg",
+    "VerificationError",
+    "const",
+    "run_module",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,176 @@
+"""IR instruction set.
+
+The instruction set is RISC-like and three-address.  Every instruction has
+an opcode, an optional destination virtual register, and a list of operand
+values.  Memory operations additionally carry a byte ``width`` and a
+``signed`` flag; control-flow operations carry block labels; calls carry a
+callee name.
+
+Instructions are mutable on purpose: optimization passes rewrite operands
+in place, and the non-SSA register model means def/use chains are recomputed
+per pass rather than maintained incrementally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.ir.types import INT_ACCESS_WIDTHS, Type
+from repro.ir.values import Const, VReg, is_value
+
+
+class Opcode(enum.Enum):
+    """Operations of the machine-independent IR."""
+
+    # Integer arithmetic / logic (I64 x I64 -> I64 unless noted).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"          # signed division, truncating toward zero
+    REM = "rem"          # signed remainder
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"          # logical shift right
+    SRA = "sra"          # arithmetic shift right
+    # Integer comparisons (-> I64 0/1).
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    ULT = "ult"
+    UGE = "uge"
+    # Floating point (F64 x F64 -> F64, comparisons -> I64 0/1).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FEQ = "feq"
+    FLT = "flt"
+    FLE = "fle"
+    # Conversions.
+    I2F = "i2f"
+    F2I = "f2i"          # truncating toward zero
+    # Data movement: MOV copies a value or materializes a constant.
+    MOV = "mov"
+    # Memory. LOAD: dest <- mem[args[0] + offset]; STORE: mem[args[1] + offset] <- args[0].
+    LOAD = "load"
+    STORE = "store"
+    # Control flow (block terminators except CALL).
+    BR = "br"            # unconditional branch, labels[0]
+    CBR = "cbr"          # conditional: args[0] != 0 -> labels[0] else labels[1]
+    RET = "ret"          # optional args[0] return value
+    CALL = "call"        # non-terminator; dest optional; callee by name
+
+
+#: Opcodes that terminate a basic block.
+TERMINATORS = frozenset({Opcode.BR, Opcode.CBR, Opcode.RET})
+
+#: Binary integer ALU opcodes.
+INT_BINOPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.SRA,
+})
+
+#: Integer comparison opcodes.
+INT_CMPS = frozenset({
+    Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE,
+    Opcode.ULT, Opcode.UGE,
+})
+
+#: Binary float ALU opcodes.
+FLOAT_BINOPS = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV})
+
+#: Float comparison opcodes.
+FLOAT_CMPS = frozenset({Opcode.FEQ, Opcode.FLT, Opcode.FLE})
+
+#: All comparison opcodes.
+CMP_OPS = INT_CMPS | FLOAT_CMPS
+
+#: Commutative binary opcodes (used by CSE and constant canonicalization).
+COMMUTATIVE = frozenset({
+    Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.EQ, Opcode.NE, Opcode.FADD, Opcode.FMUL, Opcode.FEQ,
+})
+
+
+@dataclass
+class Instruction:
+    """A single IR instruction.
+
+    Attributes:
+        op: The operation.
+        dest: Destination virtual register, or None for stores/branches/void calls.
+        args: Operand values (VReg or Const).
+        labels: Successor block labels for BR/CBR.
+        callee: Called function name for CALL.
+        width: Access width in bytes for LOAD/STORE of integer type.
+        signed: Whether a narrow integer LOAD sign-extends.
+        offset: Constant byte displacement for LOAD/STORE addressing.
+    """
+
+    op: Opcode
+    dest: Optional[VReg] = None
+    args: List[object] = field(default_factory=list)
+    labels: Tuple[str, ...] = ()
+    callee: str = ""
+    width: int = 8
+    signed: bool = True
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        for arg in self.args:
+            if not is_value(arg):
+                raise TypeError(f"bad operand {arg!r} in {self.op}")
+        if self.op in (Opcode.LOAD, Opcode.STORE):
+            value_type = self.dest.type if self.op is Opcode.LOAD else _value_type(self.args[0])
+            if value_type.is_int and self.width not in INT_ACCESS_WIDTHS:
+                raise ValueError(f"bad access width {self.width}")
+            if value_type.is_float and self.width != 8:
+                raise ValueError("float accesses must be 8 bytes wide")
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATORS
+
+    @property
+    def uses(self) -> List[VReg]:
+        """Virtual registers read by this instruction."""
+        return [a for a in self.args if isinstance(a, VReg)]
+
+    def replace_uses(self, old: VReg, new: object) -> None:
+        """Substitute operand ``old`` with value ``new`` everywhere."""
+        self.args = [new if a == old else a for a in self.args]
+
+    def __str__(self) -> str:
+        parts = []
+        if self.dest is not None:
+            parts.append(f"{self.dest} = ")
+        parts.append(self.op.value)
+        if self.op in (Opcode.LOAD, Opcode.STORE):
+            parts.append(f".{self.width}{'s' if self.signed else 'u'}")
+        if self.callee:
+            parts.append(f" @{self.callee}")
+        if self.args:
+            parts.append(" " + ", ".join(str(a) for a in self.args))
+        if self.op in (Opcode.LOAD, Opcode.STORE) and self.offset:
+            parts.append(f" +{self.offset}")
+        if self.labels:
+            parts.append(" -> " + ", ".join(self.labels))
+        return "".join(parts)
+
+
+def _value_type(value: object) -> Type:
+    if isinstance(value, (VReg, Const)):
+        return value.type
+    raise TypeError(f"not a value: {value!r}")
+
+
+def value_type(value: object) -> Type:
+    """Public helper: the scalar type of an operand value."""
+    return _value_type(value)

@@ -1,0 +1,66 @@
+"""Scalar types for the machine-independent IR.
+
+The IR is deliberately small: two scalar value types (64-bit integers and
+64-bit IEEE floats) plus explicit access widths on memory operations.  This
+matches the level at which both backends (the RISC substrate and the TRIPS
+EDGE backend) operate, and keeps the interpreter and code generators simple.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Type(enum.Enum):
+    """Scalar value type of an IR virtual register or constant."""
+
+    I64 = "i64"
+    F64 = "f64"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_int(self) -> bool:
+        return self is Type.I64
+
+    @property
+    def is_float(self) -> bool:
+        return self is Type.F64
+
+
+#: Valid byte widths for integer memory accesses.
+INT_ACCESS_WIDTHS = (1, 2, 4, 8)
+
+#: Bit mask for 64-bit integer wrap-around.
+MASK64 = (1 << 64) - 1
+
+#: Sign bit for 64-bit two's-complement interpretation.
+SIGN64 = 1 << 63
+
+
+def wrap64(value: int) -> int:
+    """Wrap an unbounded Python int to signed 64-bit two's complement."""
+    value &= MASK64
+    if value & SIGN64:
+        value -= 1 << 64
+    return value
+
+
+def to_unsigned64(value: int) -> int:
+    """Reinterpret a signed 64-bit value as unsigned."""
+    return value & MASK64
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend a ``width``-byte little-endian integer to 64 bits."""
+    bits = width * 8
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def zero_extend(value: int, width: int) -> int:
+    """Zero-extend a ``width``-byte integer to 64 bits."""
+    return value & ((1 << (width * 8)) - 1)

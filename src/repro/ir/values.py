@@ -1,0 +1,74 @@
+"""Value classes used as instruction operands in the IR.
+
+Two kinds of values exist:
+
+* :class:`VReg` — a virtual register.  The IR is *not* SSA: a virtual
+  register may be assigned in several places (e.g. loop induction
+  variables).  This keeps the front-end builder and both code generators
+  straightforward, at the cost of requiring def-use analysis in passes
+  that need it.
+* :class:`Const` — an immediate integer or float constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.types import Type, wrap64
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A typed virtual register.
+
+    Virtual registers are created through :class:`repro.ir.builder.Builder`
+    which guarantees unique ids within a function.  ``name`` is a debugging
+    hint only and carries no semantic meaning.
+    """
+
+    id: int
+    type: Type
+    name: str = ""
+
+    def __str__(self) -> str:
+        hint = f".{self.name}" if self.name else ""
+        return f"%{self.id}{hint}"
+
+    def __repr__(self) -> str:
+        return f"VReg({self.id}, {self.type}{', ' + self.name if self.name else ''})"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An immediate constant operand."""
+
+    value: object  # int for I64, float for F64
+    type: Type
+
+    def __post_init__(self) -> None:
+        if self.type.is_int:
+            object.__setattr__(self, "value", wrap64(int(self.value)))
+        else:
+            object.__setattr__(self, "value", float(self.value))
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+def const(value: object) -> Const:
+    """Build a :class:`Const` with the type inferred from the Python value."""
+    if isinstance(value, bool):
+        return Const(int(value), Type.I64)
+    if isinstance(value, int):
+        return Const(value, Type.I64)
+    if isinstance(value, float):
+        return Const(value, Type.F64)
+    raise TypeError(f"cannot make an IR constant from {value!r}")
+
+
+Value = object  # documented union: VReg | Const
+
+
+def is_value(obj: object) -> bool:
+    """Return True when ``obj`` is a legal instruction operand."""
+    return isinstance(obj, (VReg, Const))

@@ -1,0 +1,57 @@
+"""TRIPS EDGE ISA: instructions, blocks, assembler, encoding model."""
+
+from repro.isa.asm import (
+    AsmError, format_block, format_program, is_write_target, parse_block,
+    parse_program, write_slot_of, write_target,
+)
+from repro.isa.block import (
+    MAX_BLOCK_INSTS, MAX_EXITS, MAX_LSIDS, MAX_READS, MAX_WRITES,
+    BlockConstraintError, TripsBlock, TripsFunction, TripsProgram,
+)
+from repro.isa.encoding import (
+    HEADER_BYTES, CodeSizeReport, block_bytes, block_nops,
+    dynamic_code_size, static_code_size,
+)
+from repro.isa.instructions import (
+    ARITH_OPS, EXIT_OPS, MAX_TARGETS, MEM_OPS, TEST_OPS, TRIPS_LATENCY,
+    ReadInst, Slot, Target, TInst, TOp, WriteInst, operand_count,
+)
+
+__all__ = [
+    "ARITH_OPS",
+    "AsmError",
+    "BlockConstraintError",
+    "CodeSizeReport",
+    "EXIT_OPS",
+    "HEADER_BYTES",
+    "MAX_BLOCK_INSTS",
+    "MAX_EXITS",
+    "MAX_LSIDS",
+    "MAX_READS",
+    "MAX_TARGETS",
+    "MAX_WRITES",
+    "MEM_OPS",
+    "ReadInst",
+    "Slot",
+    "TEST_OPS",
+    "TInst",
+    "TOp",
+    "TRIPS_LATENCY",
+    "Target",
+    "TripsBlock",
+    "TripsFunction",
+    "TripsProgram",
+    "WriteInst",
+    "block_bytes",
+    "block_nops",
+    "dynamic_code_size",
+    "format_block",
+    "format_program",
+    "is_write_target",
+    "operand_count",
+    "parse_block",
+    "parse_program",
+    "static_code_size",
+    "write_slot_of",
+    "write_target",
+]

@@ -1,0 +1,299 @@
+"""Text assembler / disassembler for TRIPS blocks.
+
+The format is a stable, line-oriented rendition used by tests, examples,
+and hand-written kernels.  One block::
+
+    block vadd_body
+      r0: read G3 -> i0.op0
+      i0: load lsid=0 w=8 d=0 -> i2.op0
+      i1: geni 8 -> i2.op1
+      i2: add -> i3.op0 w0
+      i3: tlt -> i4.p
+      i4: <T> bro @vadd_body
+      i5: <F> bro @vadd_done
+      w0: write G3
+    end
+
+Targets may be ``i<k>.op0 | i<k>.op1 | i<k>.p`` or ``w<k>`` (shorthand for
+"this value feeds write slot k", resolved to the write's value channel).
+``parse_block``/``format_block`` round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.isa.block import TripsBlock
+from repro.isa.instructions import ReadInst, Slot, Target, TInst, TOp, WriteInst
+
+
+class AsmError(Exception):
+    """Malformed TRIPS assembly text."""
+
+
+_SLOT_NAMES = {"op0": Slot.OP0, "op1": Slot.OP1, "p": Slot.PRED}
+_TARGET_RE = re.compile(r"^i(\d+)\.(op0|op1|p)$")
+_WRITE_TARGET_RE = re.compile(r"^w(\d+)$")
+_READ_RE = re.compile(r"^r(\d+):\s+read\s+G(\d+)(?:\s+->\s+(.*))?$")
+_WRITE_RE = re.compile(r"^w(\d+):\s+write\s+G(\d+)$")
+_INST_RE = re.compile(
+    r"^i(\d+):\s+(?:<([TF])>\s+)?(\w+)"
+    r"((?:\s+[^\s>]+)*?)(?:\s+->\s+(.*))?$")
+
+
+def format_block(block: TripsBlock) -> str:
+    """Render a block in canonical assembly text."""
+    lines = [f"block {block.label}"]
+    write_channel = _write_channels(block)
+    for read in block.reads:
+        targets = " ".join(_format_target(t, write_channel) for t in read.targets)
+        suffix = f" -> {targets}" if targets else ""
+        lines.append(f"  r{read.index}: read G{read.reg}{suffix}")
+    for inst in block.instructions:
+        lines.append("  " + _format_inst(inst, write_channel))
+    for write in block.writes:
+        lines.append(f"  w{write.index}: write G{write.reg}")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def _write_channels(block: TripsBlock) -> Dict[Tuple[int, Slot], int]:
+    """Map (instruction index, slot) -> write slot for write-value channels.
+
+    Write instructions live in the header; producers target them through a
+    per-write channel.  Internally we encode "feeds write k" as a target to
+    a pseudo-slot; the assembler renders it as ``wk``.
+    """
+    return {}
+
+
+def _format_target(target: Target, write_channel) -> str:
+    if target.inst >= WRITE_CHANNEL_BASE:
+        return f"w{target.inst - WRITE_CHANNEL_BASE}"
+    return f"i{target.inst}.{target.slot}"
+
+
+#: Target indices at or above this base denote write channels (write slot =
+#: index - base).  Keeps Target a simple value type while letting producers
+#: name register writes directly.
+WRITE_CHANNEL_BASE = 1 << 16
+
+
+def write_target(write_slot: int) -> Target:
+    """Build a target that delivers a value to write slot ``write_slot``."""
+    return Target(WRITE_CHANNEL_BASE + write_slot, Slot.OP0)
+
+
+def is_write_target(target: Target) -> bool:
+    return target.inst >= WRITE_CHANNEL_BASE
+
+
+def write_slot_of(target: Target) -> int:
+    return target.inst - WRITE_CHANNEL_BASE
+
+
+def _format_inst(inst: TInst, write_channel) -> str:
+    parts = [f"i{inst.index}:"]
+    if inst.predicate:
+        parts.append(f"<{inst.predicate}>")
+    parts.append(inst.op.value)
+    if inst.op is TOp.GENI:
+        parts.append(str(inst.imm))
+    elif inst.op is TOp.GENF:
+        parts.append(repr(inst.fimm))
+    elif inst.op in (TOp.LOAD, TOp.STORE):
+        parts.append(f"lsid={inst.lsid}")
+        parts.append(f"w={inst.width}")
+        parts.append(f"d={inst.imm}")
+        if not inst.signed:
+            parts.append("u")
+    elif inst.op is TOp.NULL:
+        if inst.lsid >= 0:
+            parts.append(f"lsid={inst.lsid}")
+        if inst.write_id >= 0:
+            parts.append(f"wid={inst.write_id}")
+    if inst.label:
+        parts.append(f"@{inst.label}")
+    if inst.cont:
+        parts.append(f"c={inst.cont}")
+    if inst.targets:
+        parts.append("-> " + " ".join(
+            _format_target(t, write_channel) for t in inst.targets))
+    return " ".join(parts)
+
+
+def parse_block(text: str) -> TripsBlock:
+    """Parse canonical assembly text into a block (inverse of format)."""
+    lines = [line.strip() for line in text.strip().splitlines()
+             if line.strip() and not line.strip().startswith("#")]
+    if not lines or not lines[0].startswith("block "):
+        raise AsmError("expected 'block <label>' on the first line")
+    if lines[-1] != "end":
+        raise AsmError("expected 'end' on the last line")
+    block = TripsBlock(label=lines[0].split(None, 1)[1].strip())
+
+    for line in lines[1:-1]:
+        if line.startswith("r"):
+            match = _READ_RE.match(line)
+            if match:
+                index, reg, targets = match.groups()
+                block.reads.append(ReadInst(
+                    int(index), int(reg), _parse_targets(targets)))
+                continue
+        if line.startswith("w"):
+            match = _WRITE_RE.match(line)
+            if match:
+                index, reg = match.groups()
+                block.writes.append(WriteInst(int(index), int(reg)))
+                continue
+        match = _INST_RE.match(line)
+        if not match:
+            raise AsmError(f"cannot parse line: {line!r}")
+        block.instructions.append(_parse_inst(match))
+    return block
+
+
+def _parse_targets(text) -> List[Target]:
+    targets: List[Target] = []
+    for token in (text or "").split():
+        match = _TARGET_RE.match(token)
+        if match:
+            targets.append(Target(int(match.group(1)),
+                                  _SLOT_NAMES[match.group(2)]))
+            continue
+        match = _WRITE_TARGET_RE.match(token)
+        if match:
+            targets.append(write_target(int(match.group(1))))
+            continue
+        raise AsmError(f"bad target {token!r}")
+    return targets
+
+
+def _parse_inst(match) -> TInst:
+    index, predicate, opname, attrs, targets = match.groups()
+    try:
+        op = TOp(opname)
+    except ValueError:
+        raise AsmError(f"unknown opcode {opname!r}") from None
+    inst = TInst(int(index), op, _parse_targets(targets),
+                 predicate=predicate)
+    for token in (attrs or "").split():
+        if token.startswith("@"):
+            inst.label = token[1:]
+        elif token.startswith("c="):
+            inst.cont = token[2:]
+        elif token.startswith("lsid="):
+            inst.lsid = int(token[5:])
+        elif token.startswith("wid="):
+            inst.write_id = int(token[4:])
+        elif token.startswith("w="):
+            inst.width = int(token[2:])
+        elif token.startswith("d="):
+            inst.imm = int(token[2:])
+        elif token == "u":
+            inst.signed = False
+        elif op is TOp.GENI:
+            inst.imm = int(token)
+        elif op is TOp.GENF:
+            inst.fimm = float(token)
+        else:
+            raise AsmError(f"unexpected attribute {token!r} on {opname}")
+    return inst
+
+
+# ---------------------------------------------------------------------------
+# Program-level assembly: multiple functions of blocks.
+# ---------------------------------------------------------------------------
+
+def format_program(program) -> str:
+    """Render a whole TripsProgram as assembly text (round-trips through
+    :func:`parse_program`, minus the global data image)."""
+    parts = []
+    for func in program.functions.values():
+        parts.append(f"func @{func.name} entry={func.entry} "
+                     f"params={func.num_params}")
+        for block in func.blocks.values():
+            parts.append(format_block(block))
+        parts.append("endfunc")
+    return "\n\n".join(parts)
+
+
+def parse_program(text: str):
+    """Parse program-level assembly into a TripsProgram.
+
+    Grammar::
+
+        func @<name> entry=<label> [params=<n>]
+        block <label>
+          ...
+        end
+        ...
+        endfunc
+
+    Blank lines and ``#`` comments are ignored.  The program is validated
+    before being returned.
+    """
+    from repro.isa.block import TripsFunction, TripsProgram
+
+    program = TripsProgram()
+    current: TripsFunction = None
+    block_lines = []
+    in_block = False
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("func @"):
+            if current is not None:
+                raise AsmError("nested func")
+            header = line[6:].split()
+            name = header[0]
+            entry = ""
+            num_params = 0
+            for token in header[1:]:
+                if token.startswith("entry="):
+                    entry = token[6:]
+                elif token.startswith("params="):
+                    num_params = int(token[7:])
+                else:
+                    raise AsmError(f"bad func attribute {token!r}")
+            current = TripsFunction(name, num_params=num_params)
+            current._wanted_entry = entry
+            continue
+        if line == "endfunc":
+            if current is None:
+                raise AsmError("endfunc outside func")
+            if in_block:
+                raise AsmError("endfunc inside block")
+            wanted = getattr(current, "_wanted_entry", "")
+            if wanted:
+                if wanted not in current.blocks:
+                    raise AsmError(f"entry block {wanted!r} not defined")
+                current.entry = wanted
+            program.functions[current.name] = current
+            current = None
+            continue
+        if line.startswith("block "):
+            if current is None:
+                raise AsmError("block outside func")
+            in_block = True
+            block_lines = [line]
+            continue
+        if line == "end":
+            if not in_block:
+                raise AsmError("end outside block")
+            block_lines.append(line)
+            current.add_block(parse_block("\n".join(block_lines)))
+            in_block = False
+            continue
+        if in_block:
+            block_lines.append(line)
+            continue
+        raise AsmError(f"unexpected line outside block: {line!r}")
+
+    if current is not None:
+        raise AsmError("missing endfunc")
+    program.validate()
+    return program

@@ -1,0 +1,31 @@
+"""Machine-independent optimizer.
+
+Use :func:`~repro.opt.pipeline.optimize` with a level from
+:data:`~repro.opt.pipeline.LEVELS` ("O0", "O2", "ICC", "HAND"); individual
+passes are importable for targeted use and for the ablation benchmarks.
+"""
+
+from repro.opt.constfold import fold_function, fold_module
+from repro.opt.cse import cse_module, eliminate_common_subexpressions
+from repro.opt.dce import cleanup_module, eliminate_dead_code, propagate_copies
+from repro.opt.inline import inline_module
+from repro.opt.pipeline import LEVELS, optimize
+from repro.opt.treeheight import reduce_module, reduce_tree_height
+from repro.opt.unroll import unroll_function, unroll_module
+
+__all__ = [
+    "LEVELS",
+    "cleanup_module",
+    "cse_module",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "fold_function",
+    "fold_module",
+    "inline_module",
+    "optimize",
+    "propagate_copies",
+    "reduce_module",
+    "reduce_tree_height",
+    "unroll_function",
+    "unroll_module",
+]

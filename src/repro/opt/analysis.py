@@ -1,0 +1,80 @@
+"""Shared dataflow analyses for optimization passes.
+
+Provides per-function liveness (backward, over the CFG) and def-counting
+helpers used by DCE and copy propagation.  The IR is non-SSA, so passes
+recompute these on demand rather than maintaining them incrementally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.values import VReg
+
+
+def def_counts(func: Function) -> Dict[VReg, int]:
+    """Number of defining instructions for each virtual register."""
+    counts: Dict[VReg, int] = {}
+    for param in func.params:
+        counts[param] = counts.get(param, 0) + 1
+    for inst in func.instructions():
+        if inst.dest is not None:
+            counts[inst.dest] = counts.get(inst.dest, 0) + 1
+    return counts
+
+
+def block_use_def(block) -> Tuple[Set[VReg], Set[VReg]]:
+    """(use, def) sets for a block: use = read before any write."""
+    uses: Set[VReg] = set()
+    defs: Set[VReg] = set()
+    for inst in block.instructions:
+        for reg in inst.uses:
+            if reg not in defs:
+                uses.add(reg)
+        if inst.dest is not None:
+            defs.add(inst.dest)
+    return uses, defs
+
+
+def liveness(func: Function) -> Dict[str, Set[VReg]]:
+    """Live-out register sets per block label (fixpoint backward dataflow)."""
+    use: Dict[str, Set[VReg]] = {}
+    defs: Dict[str, Set[VReg]] = {}
+    for block in func.blocks:
+        use[block.label], defs[block.label] = block_use_def(block)
+
+    live_in: Dict[str, Set[VReg]] = {b.label: set() for b in func.blocks}
+    live_out: Dict[str, Set[VReg]] = {b.label: set() for b in func.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            label = block.label
+            out: Set[VReg] = set()
+            for succ in block.successors():
+                out |= live_in[succ]
+            new_in = use[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return live_out
+
+
+#: Opcodes whose instructions must never be deleted even if the destination
+#: register is dead, because they have side effects or end a block.
+SIDE_EFFECT_OPS = frozenset({
+    Opcode.STORE, Opcode.CALL, Opcode.BR, Opcode.CBR, Opcode.RET,
+})
+
+
+def remove_unreachable_blocks(func: Function) -> int:
+    """Delete blocks not reachable from the entry; returns count removed."""
+    reachable = set(func.reachable_labels())
+    doomed: List[str] = [b.label for b in func.blocks if b.label not in reachable]
+    for label in doomed:
+        func.remove_block(label)
+    return len(doomed)

@@ -1,0 +1,141 @@
+"""Local common-subexpression elimination and redundant-load elimination.
+
+Both analyses are per-basic-block (the dominant payoff in kernel-heavy
+codes) and memory-safe:
+
+* pure expressions are keyed by (opcode, canonicalized operands); a write
+  to any operand register kills dependent entries;
+* loads are keyed by (base value, offset, width, signedness); a store or a
+  call kills load entries unless the store provably does not alias
+  (same base register, disjoint constant offset ranges);
+* a load following a store to the identical location forwards the stored
+  value (store-to-load forwarding — the paper's "replace store/load pairs
+  with direct communication" optimization at the IR level).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    CMP_OPS, COMMUTATIVE, FLOAT_BINOPS, INT_BINOPS, Instruction, Opcode,
+)
+from repro.ir.values import Const, VReg
+
+_PURE_OPS = INT_BINOPS | FLOAT_BINOPS | CMP_OPS | {Opcode.I2F, Opcode.F2I}
+
+
+def _operand_key(value) -> Tuple:
+    if isinstance(value, VReg):
+        return ("r", value.id)
+    return ("c", value.type.value, value.value)
+
+
+def _expr_key(inst: Instruction) -> Tuple:
+    keys = [_operand_key(a) for a in inst.args]
+    if inst.op in COMMUTATIVE:
+        keys.sort()
+    return (inst.op.value, *keys)
+
+
+def _load_key(base, offset: int, width: int, signed: bool, is_float: bool) -> Tuple:
+    return ("mem", _operand_key(base), offset, width, signed, is_float)
+
+
+def _ranges_disjoint(off_a: int, width_a: int, off_b: int, width_b: int) -> bool:
+    return off_a + width_a <= off_b or off_b + width_b <= off_a
+
+
+def eliminate_common_subexpressions(func: Function) -> int:
+    rewrites = 0
+    for block in func.blocks:
+        rewrites += _cse_block(block)
+    return rewrites
+
+
+def _cse_block(block) -> int:
+    rewrites = 0
+    exprs: Dict[Tuple, VReg] = {}     # pure expression -> defining register
+    mem: Dict[Tuple, object] = {}     # load/forwarding key -> known value
+
+    def kill_register(reg: VReg) -> None:
+        reg_key = _operand_key(reg)
+        for key in [k for k in exprs
+                    if reg_key in k[1:] or exprs[k] == reg]:
+            del exprs[key]
+        for key in [k for k in mem if k[1] == reg_key or mem[k] == reg]:
+            del mem[key]
+
+    for i, inst in enumerate(block.instructions):
+        op = inst.op
+
+        if op in _PURE_OPS and inst.dest is not None:
+            key = _expr_key(inst)
+            if key in exprs:
+                block.instructions[i] = Instruction(
+                    Opcode.MOV, inst.dest, [exprs[key]])
+                rewrites += 1
+                kill_register(inst.dest)
+                continue
+            kill_register(inst.dest)
+            # Do not record expressions that read their own destination
+            # (e.g. x = x + 1): the key would refer to the stale value.
+            if inst.dest not in inst.uses:
+                exprs[key] = inst.dest
+            continue
+
+        if op is Opcode.LOAD:
+            key = _load_key(inst.args[0], inst.offset, inst.width,
+                            inst.signed, inst.dest.type.is_float)
+            if key in mem and mem[key] != inst.dest:
+                block.instructions[i] = Instruction(
+                    Opcode.MOV, inst.dest, [mem[key]])
+                rewrites += 1
+                kill_register(inst.dest)
+                continue
+            kill_register(inst.dest)
+            if inst.args[0] != inst.dest:
+                mem[key] = inst.dest
+            continue
+
+        if op is Opcode.STORE:
+            value, base = inst.args[0], inst.args[1]
+            base_key = _operand_key(base)
+            survivors = {}
+            for key, known in mem.items():
+                same_base = key[1] == base_key
+                if same_base and _ranges_disjoint(
+                        key[2], key[3], inst.offset, inst.width):
+                    survivors[key] = known
+            mem.clear()
+            mem.update(survivors)
+            # Forward the stored value to later same-location loads.  A
+            # narrow store only forwards when the value register is known to
+            # fit; forwarding full-width (8-byte) stores is always exact.
+            if inst.width == 8:
+                is_float = isinstance(value, Const) and value.type.is_float \
+                    or isinstance(value, VReg) and value.type.is_float
+                fwd = _load_key(base, inst.offset, 8, True, is_float)
+                mem[fwd] = value
+                if not is_float:
+                    mem[_load_key(base, inst.offset, 8, False, False)] = value
+            continue
+
+        if op is Opcode.CALL:
+            mem.clear()
+            if inst.dest is not None:
+                kill_register(inst.dest)
+            continue
+
+        if inst.dest is not None:  # MOV and anything else defining a value
+            kill_register(inst.dest)
+            if op is Opcode.MOV and isinstance(inst.args[0], VReg):
+                # record mov as a trivial expression for dedup
+                pass
+    return rewrites
+
+
+def cse_module(module: Module) -> int:
+    return sum(eliminate_common_subexpressions(f)
+               for f in module.functions.values())

@@ -1,0 +1,118 @@
+"""Dead code elimination and copy/constant propagation.
+
+``eliminate_dead_code`` removes pure instructions whose result is not live
+at the point of definition (full backward liveness inside each block,
+seeded by the CFG live-out sets).
+
+``propagate_copies`` performs two safe propagations in the non-SSA IR:
+
+* *global single-def propagation*: if ``x`` is defined exactly once, by
+  ``x = mov C`` (constant) or ``x = mov y`` where ``y`` is also single-def
+  and not a parameter-shadow, every use of ``x`` may be replaced;
+* *local propagation*: within one basic block, ``x = mov y`` allows later
+  uses of ``x`` to read ``y`` until either register is redefined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Opcode
+from repro.ir.values import Const, VReg
+
+from repro.opt.analysis import (
+    SIDE_EFFECT_OPS, def_counts, liveness, remove_unreachable_blocks,
+)
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Remove dead pure instructions and unreachable blocks."""
+    removed = remove_unreachable_blocks(func)
+    live_out = liveness(func)
+    for block in func.blocks:
+        live = set(live_out[block.label])
+        keep = []
+        for inst in reversed(block.instructions):
+            is_dead = (
+                inst.op not in SIDE_EFFECT_OPS
+                and inst.dest is not None
+                and inst.dest not in live
+            )
+            if is_dead:
+                removed += 1
+                continue
+            if inst.dest is not None:
+                live.discard(inst.dest)
+            live.update(inst.uses)
+            keep.append(inst)
+        keep.reverse()
+        block.instructions = keep
+    return removed
+
+
+def propagate_copies(func: Function) -> int:
+    rewrites = _propagate_single_def(func)
+    rewrites += _propagate_local(func)
+    return rewrites
+
+
+def _propagate_single_def(func: Function) -> int:
+    counts = def_counts(func)
+    resolved: Dict[VReg, object] = {}
+    for inst in func.instructions():
+        if (inst.op is Opcode.MOV and inst.dest is not None
+                and counts.get(inst.dest, 0) == 1):
+            src = inst.args[0]
+            if isinstance(src, Const):
+                resolved[inst.dest] = src
+            elif isinstance(src, VReg) and counts.get(src, 0) == 1:
+                resolved[inst.dest] = src
+
+    # Chase chains x <- y <- C so a mov-of-mov fully resolves.
+    def chase(value, depth=0):
+        while isinstance(value, VReg) and value in resolved and depth < 64:
+            value = resolved[value]
+            depth += 1
+        return value
+
+    rewrites = 0
+    for inst in func.instructions():
+        for i, arg in enumerate(inst.args):
+            if isinstance(arg, VReg) and arg in resolved:
+                final = chase(resolved[arg])
+                if final != arg:
+                    inst.args[i] = final
+                    rewrites += 1
+    return rewrites
+
+
+def _propagate_local(func: Function) -> int:
+    rewrites = 0
+    for block in func.blocks:
+        available: Dict[VReg, object] = {}
+        for inst in block.instructions:
+            for i, arg in enumerate(inst.args):
+                if isinstance(arg, VReg) and arg in available:
+                    inst.args[i] = available[arg]
+                    rewrites += 1
+            if inst.dest is not None:
+                # A write to r kills copies into and out of r.
+                available.pop(inst.dest, None)
+                for key in [k for k, v in available.items() if v == inst.dest]:
+                    del available[key]
+                if inst.op is Opcode.MOV:
+                    src = inst.args[0]
+                    if isinstance(src, Const) or (
+                            isinstance(src, VReg) and src != inst.dest):
+                        available[inst.dest] = src
+    return rewrites
+
+
+def cleanup_module(module: Module) -> int:
+    """Convenience: propagate + DCE for every function in the module."""
+    total = 0
+    for func in module.functions.values():
+        total += propagate_copies(func)
+        total += eliminate_dead_code(func)
+    return total

@@ -1,0 +1,119 @@
+"""Function inlining.
+
+Inlines calls to small, non-recursive functions.  The callee's blocks are
+cloned into the caller with fresh registers and labels; parameters become
+MOVs of the actual arguments; each RET becomes a MOV into the call's
+destination (if any) followed by a branch to the continuation block.
+
+The paper notes that TRIPS block formation suffers when frequent calls cut
+blocks early; inlining in the optimizer pipeline is the standard mitigation
+and is applied by the gcc/icc-class pipelines before block formation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.values import VReg
+
+#: Callees at or below this instruction count are inlined.
+DEFAULT_SIZE_LIMIT = 40
+
+#: Upper bound on the caller growth per pass, to avoid code explosion.
+MAX_INLINES_PER_FUNCTION = 24
+
+
+def _is_recursive(module: Module, name: str,
+                  visiting: Set[str] = None) -> bool:
+    visiting = visiting or set()
+    if name in visiting:
+        return True
+    visiting = visiting | {name}
+    func = module.functions.get(name)
+    if func is None:
+        return False
+    for inst in func.instructions():
+        if inst.op is Opcode.CALL:
+            if inst.callee == name or _is_recursive(module, inst.callee, visiting):
+                return True
+    return False
+
+
+def inline_module(module: Module,
+                  size_limit: int = DEFAULT_SIZE_LIMIT) -> int:
+    """Inline eligible call sites in every function; returns site count."""
+    eligible = {
+        name for name, func in module.functions.items()
+        if func.instruction_count() <= size_limit
+        and not _is_recursive(module, name)
+    }
+    total = 0
+    for func in module.functions.values():
+        total += _inline_in_function(module, func, eligible)
+    return total
+
+
+def _inline_in_function(module: Module, caller: Function,
+                        eligible: Set[str]) -> int:
+    inlined = 0
+    progress = True
+    while progress and inlined < MAX_INLINES_PER_FUNCTION:
+        progress = False
+        for block in list(caller.blocks):
+            site = next(
+                (i for i, inst in enumerate(block.instructions)
+                 if inst.op is Opcode.CALL and inst.callee in eligible
+                 and inst.callee != caller.name),
+                None)
+            if site is None:
+                continue
+            _inline_call(module, caller, block, site, inlined)
+            inlined += 1
+            progress = True
+            break
+    return inlined
+
+
+def _inline_call(module: Module, caller: Function, block, site: int,
+                 serial: int) -> None:
+    call = block.instructions[site]
+    callee = module.function(call.callee)
+    prefix = f"inl{serial}.{callee.name}."
+
+    # Split the caller block: everything after the call moves to a new
+    # continuation block.
+    continuation = caller.add_block(prefix + "cont")
+    continuation.instructions = block.instructions[site + 1:]
+    block.instructions = block.instructions[:site]
+
+    # Fresh registers for everything the callee defines.
+    rename: Dict[VReg, VReg] = {}
+    for param, arg in zip(callee.params, call.args):
+        fresh = caller.new_vreg(param.type, param.name)
+        rename[param] = fresh
+        block.append(Instruction(Opcode.MOV, fresh, [arg]))
+    block.append(Instruction(Opcode.BR, labels=(prefix + callee.entry.label,)))
+
+    def mapped(reg: VReg) -> VReg:
+        if reg not in rename:
+            rename[reg] = caller.new_vreg(reg.type, reg.name)
+        return rename[reg]
+
+    for src_block in callee.blocks:
+        clone = caller.add_block(prefix + src_block.label)
+        for inst in src_block.instructions:
+            args = [mapped(a) if isinstance(a, VReg) else a for a in inst.args]
+            if inst.op is Opcode.RET:
+                if call.dest is not None:
+                    clone.instructions.append(
+                        Instruction(Opcode.MOV, call.dest, [args[0]]))
+                clone.instructions.append(
+                    Instruction(Opcode.BR, labels=(continuation.label,)))
+                continue
+            dest = mapped(inst.dest) if inst.dest is not None else None
+            labels = tuple(prefix + l for l in inst.labels)
+            clone.instructions.append(Instruction(
+                inst.op, dest, args, labels, inst.callee,
+                inst.width, inst.signed, inst.offset))

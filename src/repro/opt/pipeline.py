@@ -1,0 +1,100 @@
+"""Named optimization pipelines.
+
+Four pipelines model the compilers the paper compares:
+
+* ``O0`` — front-end output as-is.
+* ``O2`` ("gcc-class") — inlining, folding, copy propagation, local CSE
+  with load forwarding, DCE, and modest unrolling (factor 2).  Used for
+  the PowerPC baseline and the reference-platform "gcc" bars.
+* ``ICC`` ("icc-class") — O2 plus deeper unrolling (factor 4) and integer
+  tree-height reduction.  Used for the reference-platform "icc" bars.
+* ``HAND`` — the mechanized analogue of the paper's hand optimization:
+  aggressive unrolling to fill 128-instruction TRIPS blocks (factor 8),
+  float reassociation, and repeated cleanup.  Used for TRIPS-hand bars.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Callable, Dict, List
+
+from repro.ir.function import Module
+from repro.ir.verify import verify_module
+
+from repro.opt.constfold import flatten_module, fold_module
+from repro.opt.cse import cse_module
+from repro.opt.dce import cleanup_module
+from repro.opt.inline import inline_module
+from repro.opt.treeheight import reduce_module
+from repro.opt.unroll import unroll_module
+
+OptLevel = str
+
+_PIPELINES: Dict[str, List[Callable[[Module], int]]] = {}
+
+
+def _cleanup_round(module: Module) -> int:
+    changed = 1
+    total = 0
+    rounds = 0
+    while changed and rounds < 8:
+        changed = fold_module(module)
+        changed += cse_module(module)
+        changed += cleanup_module(module)
+        total += changed
+        rounds += 1
+    return total
+
+
+def _pipeline_o2(module: Module) -> None:
+    inline_module(module)
+    _cleanup_round(module)
+    unroll_module(module, factor=2, max_body_size=24)
+    flatten_module(module)
+    _cleanup_round(module)
+
+
+def _pipeline_icc(module: Module) -> None:
+    inline_module(module, size_limit=64)
+    _cleanup_round(module)
+    unroll_module(module, factor=4, max_body_size=32)
+    flatten_module(module)
+    _cleanup_round(module)
+    reduce_module(module, allow_float=False)
+    _cleanup_round(module)
+
+
+def _pipeline_hand(module: Module) -> None:
+    inline_module(module, size_limit=96)
+    _cleanup_round(module)
+    unroll_module(module, factor=8, max_body_size=48)
+    flatten_module(module)
+    _cleanup_round(module)
+    reduce_module(module, allow_float=True)
+    _cleanup_round(module)
+
+
+#: Public pipeline names.
+LEVELS = ("O0", "O2", "ICC", "HAND")
+
+
+def optimize(module: Module, level: OptLevel = "O2",
+             verify: bool = True) -> Module:
+    """Run the named pipeline on a *deep copy* of the module.
+
+    The input module is left untouched so one front-end build can feed
+    several backend/optimization configurations, as the experiments do.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown optimization level {level!r}; "
+                         f"choose one of {LEVELS}")
+    result = _copy.deepcopy(module)
+    if level == "O2":
+        _pipeline_o2(result)
+    elif level == "ICC":
+        _pipeline_icc(result)
+    elif level == "HAND":
+        _pipeline_hand(result)
+    if verify:
+        verify_module(result)
+    return result

@@ -1,0 +1,188 @@
+"""Tree-height reduction.
+
+Rebalances linear chains of an associative operator (integer ADD/MUL,
+float FADD/FMUL) into log-depth trees.  The paper lists tree-height
+reduction among the TRIPS-specific optimizations used to expose
+instruction-level parallelism: a chain ``(((a+b)+c)+d)`` serializes the
+dataflow graph, while ``(a+b)+(c+d)`` halves its depth.
+
+Scope: within one basic block; a chain link must be used exactly once (by
+the next link) and links must be adjacent in dependence, not necessarily
+in program order.  Float reassociation changes rounding, which the paper's
+hand optimizations accepted; the pass therefore takes an ``allow_float``
+flag so the gcc-class pipeline can stay strict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.values import VReg
+
+_ASSOCIATIVE_INT = (Opcode.ADD, Opcode.MUL)
+_ASSOCIATIVE_FLOAT = (Opcode.FADD, Opcode.FMUL)
+
+#: Chains shorter than this are left alone (no depth to win).
+MIN_CHAIN = 3
+
+
+def reduce_tree_height(func: Function, allow_float: bool = True) -> int:
+    ops = _ASSOCIATIVE_INT + (_ASSOCIATIVE_FLOAT if allow_float else ())
+    rebuilt = 0
+    for block in func.blocks:
+        for op in ops:
+            rebuilt += _rebalance_block(func, block, op)
+    return rebuilt
+
+
+def _rebalance_block(func: Function, block, op: Opcode) -> int:
+    instructions = block.instructions
+    index_of: Dict[VReg, int] = {}
+    for i, inst in enumerate(instructions):
+        if inst.dest is not None:
+            # Mark *re*definitions: a register defined twice in the block
+            # is not a safe chain link.
+            index_of[inst.dest] = -2 if inst.dest in index_of else i
+
+    # Use/def counts must be function-wide: a link register consumed once
+    # here but also read in another block (or defined again elsewhere) is
+    # not safe to dissolve.
+    use_count: Dict[VReg, int] = {}
+    defs_fn: Dict[VReg, int] = {}
+    for inst in func.instructions():
+        for reg in inst.uses:
+            use_count[reg] = use_count.get(reg, 0) + 1
+        if inst.dest is not None:
+            defs_fn[inst.dest] = defs_fn.get(inst.dest, 0) + 1
+    for reg, count in defs_fn.items():
+        if count > 1 and reg in index_of:
+            index_of[reg] = -2
+
+    def chain_from(i: int) -> List[int]:
+        """Indices of a maximal single-use chain ending at instruction i."""
+        chain = [i]
+        while True:
+            inst = instructions[chain[-1]]
+            grown = False
+            for arg in inst.args:
+                if not isinstance(arg, VReg):
+                    continue
+                j = index_of.get(arg, -1)
+                if j < 0 or j >= chain[-1]:
+                    continue
+                producer = instructions[j]
+                if producer.op is not op or use_count.get(arg, 0) != 1:
+                    continue
+                # The producer's value must not be live elsewhere.
+                chain.append(j)
+                grown = True
+                break
+            if not grown:
+                return chain
+
+    # Find chain roots: op instructions not feeding another same-op
+    # single-use link later in the block.
+    feeds_chain = set()
+    for i, inst in enumerate(instructions):
+        if inst.op is not op:
+            continue
+        for arg in inst.args:
+            if isinstance(arg, VReg) and use_count.get(arg, 0) == 1:
+                j = index_of.get(arg, -1)
+                if j >= 0 and j < i and instructions[j].op is op:
+                    feeds_chain.add(j)
+
+    rebuilt = 0
+    for i in range(len(instructions) - 1, -1, -1):
+        inst = instructions[i]
+        if inst.op is not op or i in feeds_chain:
+            continue
+        chain = chain_from(i)
+        if len(chain) < MIN_CHAIN:
+            continue
+        if not _leaves_stable(instructions, sorted(chain)):
+            continue
+        rebuilt += _rebuild(func, block, op, sorted(chain))
+        # Rebuild invalidates the bookkeeping; one chain per block per op
+        # per invocation keeps the pass simple (pipelines run it to fixpoint
+        # via repetition if desired).
+        break
+    return rebuilt
+
+
+def _leaves_stable(instructions, chain: List[int]) -> bool:
+    """All leaf registers keep their value until the chain root.
+
+    Rebalancing moves every leaf read down to the root's position; if an
+    instruction between a link and the root redefines a leaf register, the
+    transformation would read the wrong value.
+    """
+    chain_set = set(chain)
+    root_index = chain[-1]
+    link_dests = {instructions[i].dest for i in chain}
+    for i in chain:
+        leaf_regs = [a for a in instructions[i].args
+                     if isinstance(a, VReg) and a not in link_dests]
+        for j in range(i + 1, root_index + 1):
+            if j in chain_set:
+                continue
+            dest = instructions[j].dest
+            if dest is not None and dest in leaf_regs:
+                return False
+    return True
+
+
+def _rebuild(func: Function, block, op: Opcode, chain: List[int]) -> int:
+    """Replace the chain with a balanced tree written at the root's index."""
+    instructions = block.instructions
+    chain_set = set(chain)
+    root_index = chain[-1]
+    root = instructions[root_index]
+    link_dests = {instructions[i].dest for i in chain}
+
+    # Leaves: operands of chain links that are not themselves chain links.
+    leaves = []
+    for i in chain:
+        for arg in instructions[i].args:
+            if isinstance(arg, VReg) and arg in link_dests:
+                continue
+            leaves.append(arg)
+
+    value_type = root.dest.type
+    tree_insts: List[Instruction] = []
+    level = list(leaves)
+    while len(level) > 1:
+        next_level = []
+        for k in range(0, len(level) - 1, 2):
+            if len(level) == 2:
+                dest = root.dest  # final combine reuses the root register
+            else:
+                dest = func.new_vreg(value_type, "thr")
+            tree_insts.append(Instruction(op, dest, [level[k], level[k + 1]]))
+            next_level.append(dest)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+
+    new_instructions = []
+    for i, inst in enumerate(instructions):
+        if i == root_index:
+            new_instructions.extend(tree_insts)
+        elif i not in chain_set:
+            new_instructions.append(inst)
+    block.instructions = new_instructions
+    return 1
+
+
+def reduce_module(module: Module, allow_float: bool = True,
+                  iterations: int = 4) -> int:
+    total = 0
+    for _ in range(iterations):
+        applied = sum(reduce_tree_height(f, allow_float)
+                      for f in module.functions.values())
+        total += applied
+        if not applied:
+            break
+    return total

@@ -1,0 +1,22 @@
+"""Reference platform models (Core 2, Pentium 4, Pentium III, PowerPC)."""
+
+from repro.refmodels.platforms import (
+    CORE2, PENTIUM3, PENTIUM4, PLATFORMS, PUBLISHED_MATMUL_FPC,
+    run_platform, run_powerpc,
+)
+from repro.refmodels.superscalar import (
+    PlatformSpec, SuperscalarModel, SuperscalarStats,
+)
+
+__all__ = [
+    "CORE2",
+    "PENTIUM3",
+    "PENTIUM4",
+    "PLATFORMS",
+    "PUBLISHED_MATMUL_FPC",
+    "PlatformSpec",
+    "SuperscalarModel",
+    "SuperscalarStats",
+    "run_platform",
+    "run_powerpc",
+]

@@ -1,0 +1,247 @@
+"""IR -> RISC instruction selection.
+
+Lowering is one IR instruction to (usually) one RISC instruction, using
+immediate forms where the ISA has them and materializing other constants
+with LI.  The output uses *virtual* registers; register assignment and
+frame construction happen in :mod:`repro.risc.regalloc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import Type
+from repro.ir.values import Const, VReg
+
+from repro.risc.isa import (
+    FLT_ARGS, FLT_RETURN, INT_ARGS, INT_RETURN, RClass, Reg, RiscInst,
+    RiscProgram, ROp,
+)
+from repro.risc.regalloc import allocate_function
+
+_IMM_LIMIT = 1 << 15
+
+_INT_BINOP = {
+    Opcode.ADD: ROp.ADD, Opcode.SUB: ROp.SUB, Opcode.MUL: ROp.MUL,
+    Opcode.DIV: ROp.DIV, Opcode.REM: ROp.REM, Opcode.AND: ROp.AND,
+    Opcode.OR: ROp.OR, Opcode.XOR: ROp.XOR, Opcode.SHL: ROp.SHL,
+    Opcode.SHR: ROp.SHR, Opcode.SRA: ROp.SRA,
+}
+_IMM_FORM = {
+    Opcode.ADD: ROp.ADDI, Opcode.AND: ROp.ANDI, Opcode.OR: ROp.ORI,
+    Opcode.XOR: ROp.XORI, Opcode.SHL: ROp.SHLI, Opcode.SHR: ROp.SHRI,
+    Opcode.SRA: ROp.SRAI,
+}
+_CMP = {
+    Opcode.EQ: ROp.CMPEQ, Opcode.NE: ROp.CMPNE, Opcode.LT: ROp.CMPLT,
+    Opcode.LE: ROp.CMPLE, Opcode.GT: ROp.CMPGT, Opcode.GE: ROp.CMPGE,
+    Opcode.ULT: ROp.CMPLTU, Opcode.UGE: ROp.CMPGEU,
+}
+_FLT_BINOP = {
+    Opcode.FADD: ROp.FADD, Opcode.FSUB: ROp.FSUB,
+    Opcode.FMUL: ROp.FMUL, Opcode.FDIV: ROp.FDIV,
+}
+_FCMP = {Opcode.FEQ: ROp.FCMPEQ, Opcode.FLT: ROp.FCMPLT, Opcode.FLE: ROp.FCMPLE}
+
+
+@dataclass
+class VBlock:
+    """A block of virtual-register RISC code (pre-allocation)."""
+
+    label: str
+    instructions: List[RiscInst] = field(default_factory=list)
+    successors: Tuple[str, ...] = ()
+
+
+class _FunctionLowering:
+    """Lowers one IR function to virtual-register RISC blocks."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.vregs: Dict[VReg, Reg] = {}
+        self.next_virtual = 100
+        self.blocks: List[VBlock] = []
+        self.current: VBlock = None
+
+    def fresh(self, cls: RClass) -> Reg:
+        reg = Reg(cls, self.next_virtual)
+        self.next_virtual += 1
+        return reg
+
+    def reg_for(self, vreg: VReg) -> Reg:
+        if vreg not in self.vregs:
+            cls = RClass.FLT if vreg.type.is_float else RClass.INT
+            self.vregs[vreg] = self.fresh(cls)
+        return self.vregs[vreg]
+
+    def emit(self, inst: RiscInst) -> RiscInst:
+        self.current.instructions.append(inst)
+        return inst
+
+    def value(self, operand) -> Reg:
+        """Place an operand in a register (LI for constants)."""
+        if isinstance(operand, VReg):
+            return self.reg_for(operand)
+        assert isinstance(operand, Const)
+        if operand.type.is_float:
+            reg = self.fresh(RClass.FLT)
+            self.emit(RiscInst(ROp.LI, rd=reg, fimm=operand.value))
+        else:
+            reg = self.fresh(RClass.INT)
+            self.emit(RiscInst(ROp.LI, rd=reg, imm=operand.value))
+        return reg
+
+    # -- top level ---------------------------------------------------------
+
+    def lower(self) -> List[VBlock]:
+        for ir_block in self.func.blocks:
+            self.current = VBlock(ir_block.label)
+            self.blocks.append(self.current)
+            if ir_block is self.func.entry:
+                self._lower_entry()
+            for inst in ir_block.instructions:
+                self._lower_instruction(inst)
+            self.current.successors = ir_block.successors()
+        return self.blocks
+
+    def _lower_entry(self) -> None:
+        """Copy incoming argument registers into fresh virtual registers."""
+        int_index = flt_index = 0
+        for param in self.func.params:
+            dest = self.reg_for(param)
+            if param.type.is_float:
+                self.emit(RiscInst(ROp.FMR, rd=dest, ra=FLT_ARGS[flt_index]))
+                flt_index += 1
+            else:
+                self.emit(RiscInst(ROp.MR, rd=dest, ra=INT_ARGS[int_index]))
+                int_index += 1
+
+    # -- per-instruction lowering -------------------------------------------
+
+    def _lower_instruction(self, inst: Instruction) -> None:
+        op = inst.op
+        if op in _INT_BINOP:
+            self._lower_int_binop(inst)
+        elif op in _CMP:
+            self.emit(RiscInst(_CMP[op], rd=self.reg_for(inst.dest),
+                               ra=self.value(inst.args[0]),
+                               rb=self.value(inst.args[1])))
+        elif op in _FLT_BINOP:
+            self.emit(RiscInst(_FLT_BINOP[op], rd=self.reg_for(inst.dest),
+                               ra=self.value(inst.args[0]),
+                               rb=self.value(inst.args[1])))
+        elif op in _FCMP:
+            self.emit(RiscInst(_FCMP[op], rd=self.reg_for(inst.dest),
+                               ra=self.value(inst.args[0]),
+                               rb=self.value(inst.args[1])))
+        elif op is Opcode.I2F:
+            self.emit(RiscInst(ROp.I2F, rd=self.reg_for(inst.dest),
+                               ra=self.value(inst.args[0])))
+        elif op is Opcode.F2I:
+            self.emit(RiscInst(ROp.F2I, rd=self.reg_for(inst.dest),
+                               ra=self.value(inst.args[0])))
+        elif op is Opcode.MOV:
+            self._lower_mov(inst)
+        elif op is Opcode.LOAD:
+            rop = ROp.LFD if inst.dest.type.is_float else ROp.LD
+            self.emit(RiscInst(rop, rd=self.reg_for(inst.dest),
+                               ra=self.value(inst.args[0]), imm=inst.offset,
+                               width=inst.width, signed=inst.signed))
+        elif op is Opcode.STORE:
+            value = inst.args[0]
+            is_float = (isinstance(value, Const) and value.type.is_float or
+                        isinstance(value, VReg) and value.type.is_float)
+            rop = ROp.STF if is_float else ROp.ST
+            self.emit(RiscInst(rop, rd=self.value(value),
+                               ra=self.value(inst.args[1]), imm=inst.offset,
+                               width=inst.width))
+        elif op is Opcode.BR:
+            self.emit(RiscInst(ROp.B, label=inst.labels[0]))
+        elif op is Opcode.CBR:
+            cond = self.value(inst.args[0])
+            self.emit(RiscInst(ROp.BNZ, ra=cond, label=inst.labels[0]))
+            self.emit(RiscInst(ROp.B, label=inst.labels[1]))
+        elif op is Opcode.RET:
+            if inst.args:
+                value = inst.args[0]
+                if self.func.return_type is Type.F64:
+                    self.emit(RiscInst(ROp.FMR, rd=FLT_RETURN,
+                                       ra=self.value(value)))
+                else:
+                    self.emit(RiscInst(ROp.MR, rd=INT_RETURN,
+                                       ra=self.value(value)))
+            self.emit(RiscInst(ROp.RET))
+        elif op is Opcode.CALL:
+            self._lower_call(inst)
+        else:
+            raise NotImplementedError(f"cannot lower {inst}")
+
+    def _lower_int_binop(self, inst: Instruction) -> None:
+        op, a, b = inst.op, inst.args[0], inst.args[1]
+        dest = self.reg_for(inst.dest)
+        # SUB with constant subtrahend becomes ADDI of the negation.
+        if op is Opcode.SUB and isinstance(b, Const) \
+                and -_IMM_LIMIT < -b.value <= _IMM_LIMIT - 1:
+            self.emit(RiscInst(ROp.ADDI, rd=dest, ra=self.value(a),
+                               imm=-b.value))
+            return
+        if op in _IMM_FORM:
+            if isinstance(a, Const) and not isinstance(b, Const) \
+                    and op is Opcode.ADD:
+                a, b = b, a  # commute constant to the immediate slot
+            if isinstance(b, Const) and -_IMM_LIMIT <= b.value < _IMM_LIMIT:
+                self.emit(RiscInst(_IMM_FORM[op], rd=dest,
+                                   ra=self.value(a), imm=b.value))
+                return
+        self.emit(RiscInst(_INT_BINOP[op], rd=dest,
+                           ra=self.value(a), rb=self.value(b)))
+
+    def _lower_mov(self, inst: Instruction) -> None:
+        src = inst.args[0]
+        dest = self.reg_for(inst.dest)
+        if isinstance(src, Const):
+            if src.type.is_float:
+                self.emit(RiscInst(ROp.LI, rd=dest, fimm=src.value))
+            else:
+                self.emit(RiscInst(ROp.LI, rd=dest, imm=src.value))
+        elif src.type.is_float:
+            self.emit(RiscInst(ROp.FMR, rd=dest, ra=self.reg_for(src)))
+        else:
+            self.emit(RiscInst(ROp.MR, rd=dest, ra=self.reg_for(src)))
+
+    def _lower_call(self, inst: Instruction) -> None:
+        int_index = flt_index = 0
+        for arg in inst.args:
+            is_float = (isinstance(arg, Const) and arg.type.is_float or
+                        isinstance(arg, VReg) and arg.type.is_float)
+            src = self.value(arg)
+            if is_float:
+                self.emit(RiscInst(ROp.FMR, rd=FLT_ARGS[flt_index], ra=src))
+                flt_index += 1
+            else:
+                self.emit(RiscInst(ROp.MR, rd=INT_ARGS[int_index], ra=src))
+                int_index += 1
+        self.emit(RiscInst(ROp.CALL, callee=inst.callee))
+        if inst.dest is not None:
+            dest = self.reg_for(inst.dest)
+            if inst.dest.type.is_float:
+                self.emit(RiscInst(ROp.FMR, rd=dest, ra=FLT_RETURN))
+            else:
+                self.emit(RiscInst(ROp.MR, rd=dest, ra=INT_RETURN))
+
+
+def lower_module(module: Module) -> RiscProgram:
+    """Lower an IR module to an allocated, executable RISC program."""
+    program = RiscProgram()
+    for func in module.functions.values():
+        vblocks = _FunctionLowering(func).lower()
+        program.functions[func.name] = allocate_function(
+            func.name, vblocks, num_params=len(func.params))
+    for data in module.globals.values():
+        if data.init:
+            program.globals_image.append((data.address, data.init))
+    program.data_end = module.data_end
+    return program

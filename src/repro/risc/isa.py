@@ -1,0 +1,255 @@
+"""The RISC substrate ISA (the paper's PowerPC stand-in).
+
+A classic 32-register load/store architecture:
+
+* 32 integer registers.  ABI: r1 = stack pointer, r2/r12 = spill scratch,
+  r3..r10 = argument/return registers, r13..r31 = callee-saved allocatable.
+* 32 float registers.  f1..f8 = argument/return, f0/f9 = spill scratch,
+  f10..f31 = callee-saved allocatable.
+* Fixed 32-bit instructions (for code-size accounting), immediate forms
+  for common ALU ops, displacement addressing for loads/stores.
+
+The ISA exists to reproduce the paper's normalization baseline: Figure 4
+(instruction counts), Figure 5 (storage accesses), and Section 4.4 (code
+size) all normalize TRIPS metrics to this machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class RClass(enum.Enum):
+    """Register class."""
+
+    INT = "r"
+    FLT = "f"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A RISC register: physical when 0 <= num < 32, virtual otherwise."""
+
+    cls: RClass
+    num: int
+
+    @property
+    def is_physical(self) -> bool:
+        return 0 <= self.num < 32
+
+    def __str__(self) -> str:
+        prefix = self.cls.value if self.is_physical else f"v{self.cls.value}"
+        return f"{prefix}{self.num}"
+
+
+# ABI register assignments (integer).
+SP = Reg(RClass.INT, 1)
+SCRATCH0 = Reg(RClass.INT, 2)
+SCRATCH1 = Reg(RClass.INT, 12)
+INT_ARGS = tuple(Reg(RClass.INT, n) for n in range(3, 11))
+INT_RETURN = INT_ARGS[0]
+INT_ALLOCATABLE = tuple(Reg(RClass.INT, n) for n in range(13, 32))
+
+# ABI register assignments (float).
+FSCRATCH0 = Reg(RClass.FLT, 0)
+FSCRATCH1 = Reg(RClass.FLT, 9)
+FLT_ARGS = tuple(Reg(RClass.FLT, n) for n in range(1, 9))
+FLT_RETURN = FLT_ARGS[0]
+FLT_ALLOCATABLE = tuple(Reg(RClass.FLT, n) for n in range(10, 32))
+
+
+class ROp(enum.Enum):
+    """RISC opcodes."""
+
+    # Integer register-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SRA = "sra"
+    # Integer register-immediate ALU.
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SHLI = "shli"
+    SHRI = "shri"
+    SRAI = "srai"
+    # Comparisons (-> 0/1 in rd).
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+    CMPLTU = "cmpltu"
+    CMPGEU = "cmpgeu"
+    # Immediate materialization (LI may take a full 64-bit constant; real
+    # hardware would need lis/ori sequences, which we account for in the
+    # encoding-size model rather than the instruction stream).
+    LI = "li"
+    MR = "mr"
+    # Float.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FCMPEQ = "fcmpeq"
+    FCMPLT = "fcmplt"
+    FCMPLE = "fcmple"
+    FMR = "fmr"
+    I2F = "i2f"
+    F2I = "f2i"
+    # Memory: LD rd, disp(ra); ST rs, disp(ra).  width/signed attributes.
+    LD = "ld"
+    ST = "st"
+    LFD = "lfd"
+    STF = "stf"
+    # Control.
+    B = "b"          # unconditional, label
+    BNZ = "bnz"      # branch if rs != 0, label; else fall through
+    BZ = "bz"        # branch if rs == 0, label; else fall through
+    CALL = "call"    # callee by name
+    RET = "ret"
+
+
+#: Opcode -> broad category used for statistics (Figure 4/5 style).
+CATEGORY: Dict[ROp, str] = {}
+for _op in (ROp.ADD, ROp.SUB, ROp.MUL, ROp.DIV, ROp.REM, ROp.AND, ROp.OR,
+            ROp.XOR, ROp.SHL, ROp.SHR, ROp.SRA, ROp.ADDI, ROp.ANDI, ROp.ORI,
+            ROp.XORI, ROp.SHLI, ROp.SHRI, ROp.SRAI, ROp.LI,
+            ROp.FADD, ROp.FSUB, ROp.FMUL, ROp.FDIV, ROp.I2F, ROp.F2I):
+    CATEGORY[_op] = "arith"
+for _op in (ROp.CMPEQ, ROp.CMPNE, ROp.CMPLT, ROp.CMPLE, ROp.CMPGT,
+            ROp.CMPGE, ROp.CMPLTU, ROp.CMPGEU, ROp.FCMPEQ, ROp.FCMPLT,
+            ROp.FCMPLE):
+    CATEGORY[_op] = "test"
+for _op in (ROp.MR, ROp.FMR):
+    CATEGORY[_op] = "move"
+for _op in (ROp.LD, ROp.LFD):
+    CATEGORY[_op] = "load"
+for _op in (ROp.ST, ROp.STF):
+    CATEGORY[_op] = "store"
+for _op in (ROp.B, ROp.BNZ, ROp.BZ, ROp.CALL, ROp.RET):
+    CATEGORY[_op] = "control"
+
+
+#: Execution latency (cycles) by opcode, shared by all timing models.
+LATENCY: Dict[ROp, int] = {}
+for _op, _lat in (
+        (ROp.MUL, 3), (ROp.DIV, 18), (ROp.REM, 18),
+        (ROp.FADD, 3), (ROp.FSUB, 3), (ROp.FMUL, 4), (ROp.FDIV, 12),
+        (ROp.I2F, 2), (ROp.F2I, 2)):
+    LATENCY[_op] = _lat
+
+
+@dataclass
+class RiscInst:
+    """One RISC instruction.
+
+    ``rd`` is the destination register, ``ra``/``rb`` sources, ``imm`` the
+    immediate/displacement, ``label`` the branch target, ``callee`` the
+    call target.
+    """
+
+    op: ROp
+    rd: Optional[Reg] = None
+    ra: Optional[Reg] = None
+    rb: Optional[Reg] = None
+    imm: int = 0
+    fimm: float = 0.0
+    label: str = ""
+    callee: str = ""
+    width: int = 8
+    signed: bool = True
+
+    @property
+    def category(self) -> str:
+        return CATEGORY[self.op]
+
+    def sources(self) -> List[Reg]:
+        regs = [r for r in (self.ra, self.rb) if r is not None]
+        if self.op in (ROp.ST, ROp.STF) and self.rd is not None:
+            regs.append(self.rd)  # stored value reads rd by convention
+        return regs
+
+    def dest(self) -> Optional[Reg]:
+        if self.op in (ROp.ST, ROp.STF, ROp.B, ROp.BNZ, ROp.BZ,
+                       ROp.CALL, ROp.RET):
+            return None
+        return self.rd
+
+    def __str__(self) -> str:
+        parts = [self.op.value]
+        if self.rd is not None:
+            parts.append(str(self.rd))
+        if self.ra is not None:
+            parts.append(str(self.ra))
+        if self.rb is not None:
+            parts.append(str(self.rb))
+        if self.op in (ROp.LI, ROp.ADDI, ROp.ANDI, ROp.ORI, ROp.XORI,
+                       ROp.SHLI, ROp.SHRI, ROp.SRAI, ROp.LD, ROp.ST,
+                       ROp.LFD, ROp.STF):
+            parts.append(str(self.imm))
+        if self.label:
+            parts.append(self.label)
+        if self.callee:
+            parts.append(f"@{self.callee}")
+        return " ".join(parts)
+
+
+@dataclass
+class RiscFunction:
+    """Assembled function: flat instruction list plus label -> index map."""
+
+    name: str
+    instructions: List[RiscInst] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    frame_size: int = 0
+    num_params: int = 0
+
+    def __str__(self) -> str:
+        index_to_labels: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            index_to_labels.setdefault(index, []).append(label)
+        lines = [f"func @{self.name} (frame={self.frame_size})"]
+        for i, inst in enumerate(self.instructions):
+            for label in index_to_labels.get(i, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {inst}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RiscProgram:
+    """A fully lowered module: functions plus the global data image."""
+
+    functions: Dict[str, RiscFunction] = field(default_factory=dict)
+    globals_image: List[Tuple[int, bytes]] = field(default_factory=list)
+    data_end: int = 0
+
+    def function(self, name: str) -> RiscFunction:
+        return self.functions[name]
+
+    def static_instruction_count(self) -> int:
+        return sum(len(f.instructions) for f in self.functions.values())
+
+    def code_bytes(self) -> int:
+        """Static code size: fixed 4-byte encoding, with an extra word for
+        every LI whose constant exceeds a 16-bit immediate (the lis/ori
+        expansion a real RISC would need)."""
+        total = 0
+        for func in self.functions.values():
+            for inst in func.instructions:
+                total += 4
+                if inst.op is ROp.LI and not -32768 <= inst.imm < 32768:
+                    total += 4
+        return total

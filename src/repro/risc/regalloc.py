@@ -1,0 +1,274 @@
+"""Linear-scan register allocation for the RISC backend.
+
+Intervals are block-extended: a virtual register's interval covers every
+position where it occurs plus the full span of any block it is live into
+or out of, which is safe (if conservative) for the non-SSA input.  All
+allocatable registers are callee-saved under the ABI, so intervals crossing
+calls need no special treatment; the prologue/epilogue saves and restores
+exactly the registers the function uses — those stores and reloads are the
+"register fills and spills" the paper credits the TRIPS 128-entry register
+file with avoiding (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.risc.isa import (
+    FLT_ALLOCATABLE, FSCRATCH0, FSCRATCH1, INT_ALLOCATABLE, RClass, Reg,
+    RiscFunction, RiscInst, ROp, SCRATCH0, SCRATCH1, SP,
+)
+
+
+@dataclass
+class _Interval:
+    reg: Reg
+    start: int
+    end: int
+
+
+def _inst_regs(inst: RiscInst) -> Tuple[List[Reg], List[Reg]]:
+    """(sources, dests) of an instruction, virtual or physical."""
+    sources = list(inst.sources())
+    dest = inst.dest()
+    return sources, [dest] if dest is not None else []
+
+
+def _virtual(regs: List[Reg]) -> List[Reg]:
+    return [r for r in regs if not r.is_physical]
+
+
+def _block_liveness(vblocks) -> Dict[str, Set[Reg]]:
+    """Live-out sets of virtual registers per block."""
+    use: Dict[str, Set[Reg]] = {}
+    defs: Dict[str, Set[Reg]] = {}
+    for block in vblocks:
+        u: Set[Reg] = set()
+        d: Set[Reg] = set()
+        for inst in block.instructions:
+            sources, dests = _inst_regs(inst)
+            for reg in _virtual(sources):
+                if reg not in d:
+                    u.add(reg)
+            for reg in _virtual(dests):
+                d.add(reg)
+        use[block.label] = u
+        defs[block.label] = d
+
+    live_in: Dict[str, Set[Reg]] = {b.label: set() for b in vblocks}
+    live_out: Dict[str, Set[Reg]] = {b.label: set() for b in vblocks}
+    by_label = {b.label: b for b in vblocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(vblocks):
+            out: Set[Reg] = set()
+            for succ in block.successors:
+                if succ in by_label:
+                    out |= live_in[succ]
+            new_in = use[block.label] | (out - defs[block.label])
+            if out != live_out[block.label] or new_in != live_in[block.label]:
+                live_out[block.label] = out
+                live_in[block.label] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def _build_intervals(vblocks) -> Dict[Reg, _Interval]:
+    live_in, live_out = _block_liveness(vblocks)
+    intervals: Dict[Reg, _Interval] = {}
+
+    def cover(reg: Reg, position: int) -> None:
+        interval = intervals.get(reg)
+        if interval is None:
+            intervals[reg] = _Interval(reg, position, position)
+        else:
+            interval.start = min(interval.start, position)
+            interval.end = max(interval.end, position)
+
+    position = 0
+    for block in vblocks:
+        block_start = position
+        for inst in block.instructions:
+            sources, dests = _inst_regs(inst)
+            for reg in _virtual(sources + dests):
+                cover(reg, position)
+            position += 1
+        block_end = max(block_start, position - 1)
+        for reg in live_in[block.label]:
+            cover(reg, block_start)
+        for reg in live_out[block.label]:
+            cover(reg, block_end)
+    return intervals
+
+
+def _linear_scan(intervals: List[_Interval],
+                 pool: Tuple[Reg, ...]) -> Tuple[Dict[Reg, Reg], Set[Reg]]:
+    """Returns (assignment virtual->physical, spilled virtuals)."""
+    assignment: Dict[Reg, Reg] = {}
+    spilled: Set[Reg] = set()
+    free = list(reversed(pool))
+    active: List[_Interval] = []  # sorted by end ascending
+
+    for interval in sorted(intervals, key=lambda iv: iv.start):
+        while active and active[0].end < interval.start:
+            expired = active.pop(0)
+            free.append(assignment[expired.reg])
+        if free:
+            assignment[interval.reg] = free.pop()
+            _insert_by_end(active, interval)
+            continue
+        victim = active[-1] if active else None
+        if victim is not None and victim.end > interval.end:
+            assignment[interval.reg] = assignment.pop(victim.reg)
+            spilled.add(victim.reg)
+            active.pop()
+            _insert_by_end(active, interval)
+        else:
+            spilled.add(interval.reg)
+    return assignment, spilled
+
+
+def _insert_by_end(active: List[_Interval], interval: _Interval) -> None:
+    lo, hi = 0, len(active)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if active[mid].end < interval.end:
+            lo = mid + 1
+        else:
+            hi = mid
+    active.insert(lo, interval)
+
+
+def allocate_function(name: str, vblocks, num_params: int = 0) -> RiscFunction:
+    """Assign registers, insert spill code, and build the final function."""
+    intervals = _build_intervals(vblocks)
+    int_ivs = [iv for iv in intervals.values() if iv.reg.cls is RClass.INT]
+    flt_ivs = [iv for iv in intervals.values() if iv.reg.cls is RClass.FLT]
+    int_assign, int_spilled = _linear_scan(int_ivs, INT_ALLOCATABLE)
+    flt_assign, flt_spilled = _linear_scan(flt_ivs, FLT_ALLOCATABLE)
+    assignment = {**int_assign, **flt_assign}
+    spilled = int_spilled | flt_spilled
+
+    used_phys = sorted(set(assignment.values()),
+                       key=lambda r: (r.cls.value, r.num))
+    slot_of: Dict[Reg, int] = {}
+    for reg in sorted(spilled, key=lambda r: (r.cls.value, r.num)):
+        slot_of[reg] = len(slot_of)
+    # Non-leaf functions save and restore the link register through the
+    # frame, as the PowerPC ABI requires — real stack traffic the paper's
+    # baseline pays on every call chain.
+    is_leaf = not any(inst.op is ROp.CALL
+                      for block in vblocks for inst in block.instructions)
+    lr_slots = 0 if is_leaf else 1
+    save_area = (len(used_phys) + lr_slots) * 8
+    frame_size = _align16(save_area + len(slot_of) * 8)
+
+    def slot_offset(reg: Reg) -> int:
+        return save_area + slot_of[reg] * 8
+
+    def phys(reg: Reg) -> Reg:
+        return reg if reg.is_physical else assignment[reg]
+
+    func = RiscFunction(name, frame_size=frame_size, num_params=num_params)
+
+    def emit(inst: RiscInst) -> None:
+        func.instructions.append(inst)
+
+    def emit_prologue() -> None:
+        if frame_size:
+            emit(RiscInst(ROp.ADDI, rd=SP, ra=SP, imm=-frame_size))
+        if lr_slots:
+            # The link register travels through SCRATCH0 (mflr equivalent).
+            emit(RiscInst(ROp.ST, rd=SCRATCH0, ra=SP,
+                          imm=len(used_phys) * 8))
+        for k, reg in enumerate(used_phys):
+            op = ROp.STF if reg.cls is RClass.FLT else ROp.ST
+            emit(RiscInst(op, rd=reg, ra=SP, imm=k * 8))
+
+    def emit_epilogue() -> None:
+        for k, reg in enumerate(used_phys):
+            op = ROp.LFD if reg.cls is RClass.FLT else ROp.LD
+            emit(RiscInst(op, rd=reg, ra=SP, imm=k * 8))
+        if lr_slots:
+            emit(RiscInst(ROp.LD, rd=SCRATCH0, ra=SP,
+                          imm=len(used_phys) * 8))
+        if frame_size:
+            emit(RiscInst(ROp.ADDI, rd=SP, ra=SP, imm=frame_size))
+        emit(RiscInst(ROp.RET))
+
+    emit_prologue()
+    for block in vblocks:
+        func.labels[block.label] = len(func.instructions)
+        for inst in block.instructions:
+            if inst.op is ROp.RET:
+                emit_epilogue()
+                continue
+            _rewrite_with_spills(inst, phys, spilled, slot_offset, emit)
+    _drop_fallthrough_branches(func)
+    return func
+
+
+def _rewrite_with_spills(inst: RiscInst, phys, spilled: Set[Reg],
+                         slot_offset, emit) -> None:
+    scratch_pool = {RClass.INT: [SCRATCH0, SCRATCH1],
+                    RClass.FLT: [FSCRATCH0, FSCRATCH1]}
+    taken = {RClass.INT: 0, RClass.FLT: 0}
+    mapping: Dict[Reg, Reg] = {}
+
+    def reload(reg: Reg) -> Reg:
+        if reg in mapping:
+            return mapping[reg]
+        scratch = scratch_pool[reg.cls][taken[reg.cls]]
+        taken[reg.cls] += 1
+        op = ROp.LFD if reg.cls is RClass.FLT else ROp.LD
+        emit(RiscInst(op, rd=scratch, ra=SP, imm=slot_offset(reg)))
+        mapping[reg] = scratch
+        return scratch
+
+    new = RiscInst(inst.op, inst.rd, inst.ra, inst.rb, inst.imm, inst.fimm,
+                   inst.label, inst.callee, inst.width, inst.signed)
+    store_value_is_source = inst.op in (ROp.ST, ROp.STF)
+
+    for attr in ("ra", "rb"):
+        reg = getattr(new, attr)
+        if reg is None or reg.is_physical:
+            continue
+        setattr(new, attr, reload(reg) if reg in spilled else phys(reg))
+    if store_value_is_source and new.rd is not None and not new.rd.is_physical:
+        new.rd = reload(new.rd) if new.rd in spilled else phys(new.rd)
+
+    dest = new.dest()
+    spill_dest = None
+    if dest is not None and not dest.is_physical:
+        if dest in spilled:
+            scratch = scratch_pool[dest.cls][0]
+            spill_dest = dest
+            new.rd = scratch
+        else:
+            new.rd = phys(dest)
+    emit(new)
+    if spill_dest is not None:
+        op = ROp.STF if spill_dest.cls is RClass.FLT else ROp.ST
+        emit(RiscInst(op, rd=new.rd, ra=SP, imm=slot_offset(spill_dest)))
+
+
+def _drop_fallthrough_branches(func: RiscFunction) -> None:
+    """Remove unconditional branches that target the next instruction."""
+    while True:
+        doomed = None
+        for i, inst in enumerate(func.instructions):
+            if inst.op is ROp.B and func.labels.get(inst.label) == i + 1:
+                doomed = i
+                break
+        if doomed is None:
+            return
+        del func.instructions[doomed]
+        for label, index in func.labels.items():
+            if index > doomed:
+                func.labels[label] = index - 1
+
+
+def _align16(value: int) -> int:
+    return (value + 15) // 16 * 16

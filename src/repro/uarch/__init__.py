@@ -1,0 +1,49 @@
+"""TRIPS microarchitecture models: cycle-level core, caches, OPN,
+predictors, and the ideal-machine limit study."""
+
+from repro.uarch.caches import (
+    CacheStats, DramModel, L1DataBanks, L1InstructionCache,
+    MemoryHierarchy, NucaL2, SetAssociativeCache,
+)
+from repro.uarch.config import PROTOTYPE, TripsConfig, improved_predictor_config
+from repro.uarch.core import CycleSimulator, CycleStats, run_cycles
+from repro.uarch.ideal import IdealSimulator, IdealStats, run_ideal
+from repro.uarch.opn import (
+    OperandNetwork, OpnStats, dt_coord, et_coord, hop_count, route, rt_coord,
+)
+from repro.uarch.predictor import (
+    AlphaTournamentPredictor, ExitPredictor, GsharePredictor,
+    NextBlockPredictor, PredictorStats, TargetPredictor,
+)
+
+__all__ = [
+    "AlphaTournamentPredictor",
+    "CacheStats",
+    "CycleSimulator",
+    "CycleStats",
+    "DramModel",
+    "ExitPredictor",
+    "GsharePredictor",
+    "IdealSimulator",
+    "IdealStats",
+    "L1DataBanks",
+    "L1InstructionCache",
+    "MemoryHierarchy",
+    "NextBlockPredictor",
+    "NucaL2",
+    "OperandNetwork",
+    "OpnStats",
+    "PROTOTYPE",
+    "PredictorStats",
+    "SetAssociativeCache",
+    "TargetPredictor",
+    "TripsConfig",
+    "dt_coord",
+    "et_coord",
+    "hop_count",
+    "improved_predictor_config",
+    "route",
+    "rt_coord",
+    "run_cycles",
+    "run_ideal",
+]

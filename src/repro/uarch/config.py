@@ -1,0 +1,116 @@
+"""Configuration of the TRIPS prototype microarchitecture.
+
+Numbers follow the paper (Table 1 and Sections 2/5): 366 MHz core,
+32 KB L1 data cache in four single-ported 8 KB banks, 80 KB L1
+instruction cache in five banks, 1 MB NUCA L2 in sixteen 64 KB banks,
+dual DDR-200 memory controllers, eight 128-instruction block slots
+(one non-speculative + seven speculative), and 5 KB exit / 5 KB target
+predictor budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TripsConfig:
+    """Tunable microarchitecture parameters (defaults = prototype)."""
+
+    # Block window.
+    max_blocks_in_flight: int = 8
+    block_size_limit: int = 128
+
+    # Fetch/dispatch: the ITs deliver instructions to the ET reservation
+    # stations at 16 per cycle; a 128-instruction block dispatches in 8
+    # cycles.  Next-block fetch may begin one cycle after prediction.
+    dispatch_bandwidth: int = 16
+    fetch_to_dispatch_cycles: int = 3
+    commit_protocol_cycles: int = 4
+
+    # Flush costs (branch misprediction / load violation).
+    mispredict_flush_cycles: int = 7
+    load_violation_flush_cycles: int = 10
+
+    # Operand network: one hop per cycle, one 64-bit operand per link
+    # per cycle.
+    opn_hop_cycles: int = 1
+    local_bypass_cycles: int = 0
+
+    # Execution tiles.
+    ets_per_side: int = 4
+    slots_per_et: int = 8
+    et_issue_width: int = 1
+
+    # L1 data cache: 4 x 8 KB single-ported banks, 2-cycle hit.
+    l1d_banks: int = 4
+    l1d_bank_bytes: int = 8 * 1024
+    l1d_line_bytes: int = 64
+    l1d_assoc: int = 2
+    l1d_hit_cycles: int = 2
+
+    # L1 instruction cache: 5 banks, 80 KB total, 1-cycle hit per chunk.
+    l1i_bytes: int = 80 * 1024
+    l1i_line_bytes: int = 128
+    l1i_assoc: int = 2
+    l1i_hit_cycles: int = 1
+
+    # L2 NUCA: 16 x 64 KB banks; latency grows with bank distance.
+    l2_banks: int = 16
+    l2_bank_bytes: int = 64 * 1024
+    l2_line_bytes: int = 64
+    l2_assoc: int = 4
+    l2_base_cycles: int = 8
+    l2_hop_cycles: int = 2
+
+    # Main memory: ~70 ns at a 1.83 processor/memory ratio -> ~68 cycles,
+    # plus DDR bandwidth limits modeled as a per-access occupancy.
+    dram_cycles: int = 68
+    dram_occupancy_cycles: int = 4
+
+    # Register tiles: 4 banks x 32 registers, one read and one write port
+    # per bank per cycle.
+    rt_banks: int = 4
+    rt_read_ports: int = 1
+    rt_write_ports: int = 1
+
+    # Load/store queue dependence predictor (per-DT load-wait table).
+    lwt_entries: int = 1024
+
+    # Next-block predictor budgets (bytes).
+    exit_predictor_bytes: int = 5 * 1024
+    target_predictor_bytes: int = 5 * 1024
+    #: Return-address stack depth (Section 7: too small in the prototype).
+    ras_entries: int = 4
+
+    # ------------------------------------------------------------------
+    # "Lessons learned" features (Section 7) — OFF in the prototype, made
+    # available here for the ablation studies of future EDGE designs.
+    # ------------------------------------------------------------------
+
+    #: Predict predictable predicate arcs at dispatch instead of waiting
+    #: for the test to execute ("future EDGE microarchitectures must
+    #: support predicate prediction").
+    predicate_prediction: bool = False
+    #: Cycles lost re-executing consumers of a mispredicted predicate.
+    predicate_mispredict_cycles: int = 5
+
+    #: Variable-sized blocks in the L1 I-cache (no 32-instruction chunk
+    #: rounding) with the proposed 32-byte block header.
+    variable_size_blocks: bool = False
+
+    clock_mhz: int = 366
+
+
+#: The prototype configuration used throughout the evaluation.
+PROTOTYPE = TripsConfig()
+
+
+def improved_predictor_config() -> TripsConfig:
+    """The paper's "lessons learned" predictor (config I in Figure 7):
+    the target predictor component scaled to 9 KB, with the enlarged
+    call/return structures Section 7 recommends."""
+    config = TripsConfig()
+    config.target_predictor_bytes = 9 * 1024
+    config.ras_entries = 16
+    return config

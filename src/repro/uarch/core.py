@@ -1,0 +1,681 @@
+"""Cycle-level model of the TRIPS processor.
+
+The model executes the *correct* path (functional execution and timing are
+computed in the same pass) and charges time for everything the prototype's
+distributed microarchitecture does:
+
+* block fetch through the banked I-cache (compressed chunks) and dispatch
+  at 16 instructions/cycle into ET reservation stations;
+* dataflow wake-up: an instruction issues on its ET (one per cycle per
+  tile) once its operands and predicate arrive; results travel the 5x5
+  operand network with per-link contention;
+* register reads/writes through four single-ported register banks, loads
+  and stores through four single-ported data-tile cache banks backed by
+  the NUCA L2 and DDR DRAM;
+* sequential memory semantics via per-block load/store IDs: stores fire
+  into the DT write buffers and commit in ID order; loads hold until
+  earlier store addresses resolve, forward from the buffer, and charge a
+  dependence-predictor training flush the first time a static load
+  consumes in-flight store data;
+* next-block prediction (exit + target); a misprediction stalls fetch
+  until the exit resolves, then pays the flush penalty;
+* an eight-block in-flight window with in-order commit.
+
+Mispredicted-path work is modeled as fetch-pipeline dead time rather than
+simulated instruction-by-instruction — standard trace-driven practice that
+preserves the cycle counts the paper's Figures 6/9/11/12 and Table 3 rest
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.interp import Memory, TrapError
+from repro.ir.types import wrap64
+
+from repro.isa.asm import is_write_target, write_slot_of
+from repro.isa.block import TripsBlock, TripsProgram
+from repro.isa.instructions import (
+    Slot, TEST_OPS, TInst, TOp, TRIPS_LATENCY, operand_count,
+)
+from repro.trips.codegen import LoweredProgram
+from repro.trips.functional import NULL_TOKEN, _as_int, _compute
+from repro.trips.placement import Placement
+from repro.trips.regalloc import bank_of
+
+from repro.uarch.caches import MemoryHierarchy
+from repro.uarch.config import TripsConfig
+from repro.uarch.opn import (
+    GT_COORD, OperandNetwork, dt_coord, et_coord, rt_coord,
+)
+from repro.uarch.predictor import NextBlockPredictor
+
+_EXIT_SET = frozenset({TOp.BRO, TOp.CALLO, TOp.RET})
+
+
+@dataclass
+class CycleStats:
+    """Everything the evaluation section reads off the hardware counters."""
+
+    cycles: int = 0
+    blocks_committed: int = 0
+    fetched: int = 0
+    executed: int = 0
+    useful: int = 0
+    moves: int = 0
+    executed_not_used: int = 0
+    fetched_not_executed: int = 0
+    loads: int = 0
+    stores: int = 0
+    # Control events (Table 3).
+    branch_mispredictions: int = 0
+    call_ret_mispredictions: int = 0
+    icache_misses: int = 0
+    load_flushes: int = 0
+    # Section 7 extension: predicate prediction outcomes.
+    predicate_predictions: int = 0
+    predicate_mispredictions: int = 0
+    # Window occupancy integrals (Figure 6): sum over blocks of
+    # residency x instruction count.
+    window_inst_cycles: int = 0
+    window_useful_cycles: int = 0
+    # Memory traffic for the bandwidth study (Figure 8).
+    l1d_bytes: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.executed / self.cycles if self.cycles else 0.0
+
+    @property
+    def useful_ipc(self) -> float:
+        return self.useful / self.cycles if self.cycles else 0.0
+
+    @property
+    def fetched_ipc(self) -> float:
+        return self.fetched / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_instructions_in_window(self) -> float:
+        return self.window_inst_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_useful_in_window(self) -> float:
+        return self.window_useful_cycles / self.cycles if self.cycles else 0.0
+
+    def per_kilo_useful(self, value: int) -> float:
+        return 1000.0 * value / self.useful if self.useful else 0.0
+
+
+class _TimedBlock:
+    """Per-activation dataflow state with timestamps."""
+
+    __slots__ = ("values", "times", "pred_val", "pred_time", "arrived",
+                 "fired", "mispredicated")
+
+    def __init__(self, n: int) -> None:
+        self.values: List[Dict[Slot, object]] = [None] * n
+        self.times: List[Dict[Slot, int]] = [None] * n
+        self.pred_val: List[object] = [None] * n
+        self.pred_time: List[int] = [0] * n
+        self.arrived = [0] * n
+        self.fired = [False] * n
+        self.mispredicated = [False] * n
+
+
+class CycleSimulator:
+    """Runs a lowered TRIPS program and reports cycle-accurate statistics."""
+
+    def __init__(self, lowered: LoweredProgram,
+                 config: Optional[TripsConfig] = None,
+                 memory_size: int = 16 * 1024 * 1024,
+                 max_blocks: int = 2_000_000) -> None:
+        self.lowered = lowered
+        self.program: TripsProgram = lowered.program
+        self.config = config or TripsConfig()
+        self.memory = Memory(memory_size)
+        self.hierarchy = MemoryHierarchy(self.config)
+        self.opn = OperandNetwork(self.config.opn_hop_cycles)
+        self.predictor = NextBlockPredictor(self.config)
+        self.stats = CycleStats()
+        self.max_blocks = max_blocks
+
+        from repro.uarch.resources import ResourcePool
+        self.regs: List[object] = [0] * 128
+        self.reg_ready: List[int] = [0] * 128
+        self.rt_read_ports = ResourcePool()
+        self.rt_write_ports = ResourcePool()
+        self.et_issue = ResourcePool()
+        self.lwt: Set[int] = set()   # load-wait table (by static load id)
+        # Predicate predictor (Section 7 extension): static predicate arc
+        # -> [last value, 2-bit confidence].
+        self._pred_table: Dict[Tuple[str, int], List[int]] = {}
+
+        self._commit_times: List[int] = []      # ring of recent commits
+        self._prev_commit = 0
+        for address, payload in self.program.globals_image:
+            self.memory.write_bytes(address, payload)
+
+    # -- program loop ------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Optional[List[object]] = None):
+        """Execute to completion; returns the program result."""
+        self.regs[1] = self.memory.size - 64
+        for i, arg in enumerate(args or []):
+            self.regs[3 + i] = arg
+
+        func_name = entry
+        label = self.program.function(entry).entry
+        call_stack: List[Tuple[str, str]] = []
+        fetch_ready = 0          # when the GT may begin the next fetch
+        predicted_next: Optional[str] = None
+
+        while True:
+            if self.stats.blocks_committed >= self.max_blocks:
+                raise TrapError("cycle simulation exceeded block budget")
+            block = self.program.function(func_name).blocks[label]
+            placement = self.lowered.placement(label)
+
+            # Window capacity: at most 8 blocks in flight.
+            window = self.config.max_blocks_in_flight
+            if len(self._commit_times) >= window:
+                fetch_ready = max(fetch_ready,
+                                  self._commit_times[-window])
+
+            fetch_start = fetch_ready
+            fetch_done, icache_miss = self._fetch(block, fetch_start)
+            if icache_miss:
+                self.stats.icache_misses += 1
+
+            exit_inst, exit_time, done_time = self._execute_block(
+                block, placement, fetch_done)
+
+            # The distributed commit protocol is pipelined: a block's
+            # commit completes commit_protocol_cycles after it finishes,
+            # and commits retire in order at up to one block per cycle.
+            commit = max(done_time + self.config.commit_protocol_cycles,
+                         self._prev_commit + 1)
+            self._prev_commit = commit
+            self._commit_times.append(commit)
+            if len(self._commit_times) > window:
+                self._commit_times.pop(0)
+
+            # Resolve control flow and the prediction made at fetch.
+            kind = {TOp.BRO: "br", TOp.CALLO: "call", TOp.RET: "ret"}[
+                exit_inst.op]
+            if exit_inst.op is TOp.BRO:
+                next_func, next_label = func_name, exit_inst.label
+            elif exit_inst.op is TOp.CALLO:
+                call_stack.append((func_name, exit_inst.cont))
+                next_func = exit_inst.label
+                next_label = self.program.function(next_func).entry
+            else:
+                if not call_stack:
+                    self.stats.cycles = commit
+                    return self.regs[3]
+                next_func, next_label = call_stack.pop()
+
+            exit_index = self._exit_number(block, exit_inst)
+            correct = self.predictor.predict_and_update(
+                label, exit_index, kind, next_label,
+                continuation=exit_inst.cont)
+            if correct:
+                # Pipelined fetch: the ITs can begin streaming the next
+                # block once the current block's chunks have been
+                # delivered (16 instructions per cycle).
+                dispatch_cycles = max(
+                    1, -(-len(block.instructions)
+                         // self.config.dispatch_bandwidth))
+                fetch_ready = max(fetch_done, fetch_start + dispatch_cycles)
+            else:
+                if kind == "br":
+                    self.stats.branch_mispredictions += 1
+                else:
+                    self.stats.call_ret_mispredictions += 1
+                fetch_ready = exit_time + self.config.mispredict_flush_cycles
+
+            func_name, label = next_func, next_label
+
+    def _predicate_arrival(self, label: str, index: int, actual: int,
+                           arrive: int, dispatched: int) -> int:
+        """Effective predicate arrival time under predicate prediction.
+
+        With the Section 7 extension enabled, a high-confidence predicate
+        arc is predicted at dispatch: a correct prediction makes the
+        predicate available immediately; a wrong one costs a re-execution
+        penalty on top of the real arrival.  Without the feature, the
+        predicate arrives when the test's operand does (the prototype).
+        """
+        if not self.config.predicate_prediction:
+            return arrive
+        entry = self._pred_table.setdefault((label, index), [actual, 0])
+        predicted_value, confidence = entry
+        confident = confidence >= 2
+        self.stats.predicate_predictions += 1
+        if confident and predicted_value == actual:
+            effective = min(arrive, dispatched)
+        elif confident:
+            self.stats.predicate_mispredictions += 1
+            effective = arrive + self.config.predicate_mispredict_cycles
+        else:
+            effective = arrive
+        if predicted_value == actual:
+            entry[1] = min(confidence + 1, 3)
+        else:
+            entry[1] = max(confidence - 2, 0)
+            entry[0] = actual
+        return effective
+
+    def _exit_number(self, block: TripsBlock, exit_inst: TInst) -> int:
+        for number, candidate in enumerate(block.exits):
+            if candidate is exit_inst:
+                return number
+        return 0
+
+    # -- fetch -------------------------------------------------------------------
+
+    def _fetch(self, block: TripsBlock, start: int) -> Tuple[int, bool]:
+        n = len(block.instructions)
+        if self.config.variable_size_blocks:
+            # Section 7 proposal: variable-sized blocks with a 32-byte
+            # header — no NOP padding in the I-cache.
+            chunks = max(1, -(-(32 + 4 * n) // 128))
+        else:
+            chunks = max(1, -(-n // 32)) + 1  # 32-inst quanta + header
+        done, missed = self.hierarchy.l1i.fetch_block(
+            block.label, chunks, start)
+        return done, missed
+
+    # -- block execution -----------------------------------------------------------
+
+    def _execute_block(self, block: TripsBlock, placement: Placement,
+                       fetch_done: int) -> Tuple[TInst, int, int]:
+        config = self.config
+        stats = self.stats
+        n = len(block.instructions)
+        state = _TimedBlock(n)
+        dispatch_base = fetch_done + config.fetch_to_dispatch_cycles
+        dispatch = [dispatch_base + i // config.dispatch_bandwidth
+                    for i in range(n)]
+
+        need = [operand_count(i.op) for i in block.instructions]
+        preds = [i.predicate for i in block.instructions]
+        ready: List[int] = []
+        parked: List[int] = []
+        resolved_stores: Dict[int, int] = {}      # lsid -> resolve time
+        store_addr_time: Dict[int, Tuple[int, int, int]] = {}
+        store_buffer: Dict[int, Tuple[int, object, TInst]] = {}
+        store_lsids = sorted(block.store_lsids)
+        write_values: Dict[int, Tuple[object, int]] = {}
+        write_producers: Dict[int, int] = {}
+        used_feed: List[List[int]] = [[] for _ in range(n)]
+        exit_taken: Optional[TInst] = None
+        exit_time = 0
+        load_flush_penalty = 0
+
+        grid = config.ets_per_side
+
+        def tile_of(index: int):
+            return et_coord(placement.tiles[index], grid)
+
+        def deliver(value, when: int, targets, producer_index: int,
+                    src_coord) -> None:
+            nonlocal exit_taken, exit_time
+            for target in targets:
+                if is_write_target(target):
+                    slot = write_slot_of(target)
+                    write = block.writes[slot]
+                    bank = bank_of(write.reg)
+                    arrive = self.opn.send(src_coord, rt_coord(bank), when,
+                                           self._class_of(src_coord, "rt"))
+                    port = self.rt_write_ports.claim(bank, arrive)
+                    write_values[slot] = (value, port)
+                    if producer_index >= 0:
+                        write_producers[slot] = producer_index
+                    continue
+                index = target.inst
+                if state.fired[index] or state.mispredicated[index]:
+                    continue
+                dst = tile_of(index)
+                arrive = self.opn.send(src_coord, dst, when,
+                                       self._class_of(src_coord, "et"))
+                if target.slot is Slot.PRED:
+                    if state.pred_val[index] is None:
+                        actual = 1 if value and value is not NULL_TOKEN else 0
+                        state.pred_val[index] = actual
+                        state.pred_time[index] = self._predicate_arrival(
+                            block.label, index, actual, arrive,
+                            dispatch[index])
+                        if producer_index >= 0:
+                            used_feed[index].append(producer_index)
+                        check_ready(index)
+                    continue
+                slots = state.values[index]
+                if slots is None:
+                    slots = state.values[index] = {}
+                    state.times[index] = {}
+                if target.slot in slots:
+                    continue
+                slots[target.slot] = value
+                state.times[index][target.slot] = arrive
+                state.arrived[index] += 1
+                if producer_index >= 0:
+                    used_feed[index].append(producer_index)
+                check_ready(index)
+
+        def check_ready(index: int) -> None:
+            if state.fired[index] or state.mispredicated[index]:
+                return
+            if state.arrived[index] < need[index]:
+                return
+            predicate = preds[index]
+            if predicate is not None:
+                arrived = state.pred_val[index]
+                if arrived is None:
+                    return
+                wanted = 1 if predicate == "T" else 0
+                if arrived != wanted:
+                    state.mispredicated[index] = True
+                    inst = block.instructions[index]
+                    if inst.op is TOp.STORE:
+                        resolved_stores[inst.lsid] = state.pred_time[index]
+                        unpark()
+                    return
+            ready.append(index)
+
+        def stores_resolved_below(lsid: int) -> Tuple[bool, int]:
+            latest = 0
+            for s in store_lsids:
+                if s >= lsid:
+                    break
+                if s not in resolved_stores:
+                    return False, 0
+                latest = max(latest, resolved_stores[s])
+            return True, latest
+
+        def unpark() -> None:
+            if parked:
+                ready.extend(parked)
+                parked.clear()
+
+        def ready_time(index: int) -> int:
+            times = state.times[index] or {}
+            t = dispatch[index]
+            for slot_time in times.values():
+                t = max(t, slot_time)
+            if preds[index] is not None:
+                t = max(t, state.pred_time[index])
+            return t
+
+        def fire(index: int) -> None:
+            nonlocal exit_taken, exit_time, load_flush_penalty
+            inst = block.instructions[index]
+            state.fired[index] = True
+            stats.executed += 1
+            tile = placement.tiles[index]
+            coord = et_coord(tile, grid)
+            t_ready = ready_time(index)
+            issue = self.et_issue.claim(tile, t_ready)
+            latency = TRIPS_LATENCY.get(inst.op, 1)
+            done = issue + latency
+            slots = state.values[index] or {}
+            op = inst.op
+
+            if op is TOp.LOAD:
+                address = wrap64(_as_int(slots[Slot.OP0]) + inst.imm)
+                ok, barrier = stores_resolved_below(inst.lsid)
+                if not ok:
+                    # The LSQ cannot disambiguate against unresolved
+                    # earlier stores: hold the load until their addresses
+                    # are known (a conservative LSQ; the dependence
+                    # predictor below charges flushes when a load's data
+                    # actually came from an in-flight store).
+                    parked.append(index)
+                    state.fired[index] = False
+                    stats.executed -= 1
+                    return
+                stats.loads += 1
+                stats.l1d_bytes += inst.width
+                bank = self.hierarchy.l1d.bank_of(address)
+                depart = self.opn.send(coord, dt_coord(bank), done, "ET-DT")
+                value, forwarded_from = self._load_forwarded(
+                    address, inst, store_buffer)
+                finish = self.hierarchy.l1d.access(address, depart)
+                back = self.opn.send(dt_coord(bank), coord, finish, "ET-DT")
+                if forwarded_from >= 0:
+                    # The load consumed an in-flight store's data: had it
+                    # issued speculatively it would have flushed.  Train
+                    # the load-wait table; charge a flush the first time.
+                    when, _addr, _w = store_addr_time[forwarded_from]
+                    back = max(back, when + self.config.l1d_hit_cycles)
+                    static_id = hash((block.label, index)) & 0xFFFF
+                    if static_id not in self.lwt:
+                        self.lwt.add(static_id)
+                        stats.load_flushes += 1
+                        load_flush_penalty += \
+                            self.config.load_violation_flush_cycles
+                deliver(value, back, inst.targets, index, dt_coord(bank))
+                return
+            if op is TOp.STORE:
+                stats.stores += 1
+                stats.l1d_bytes += inst.width
+                address = wrap64(_as_int(slots[Slot.OP0]) + inst.imm)
+                value = slots[Slot.OP1]
+                bank = self.hierarchy.l1d.bank_of(address)
+                arrive = self.opn.send(coord, dt_coord(bank), done, "ET-DT")
+                # The store enters the DT's write buffer on arrival; a
+                # miss is absorbed there and written back off the critical
+                # path.  The bank's timing state still advances.
+                self.hierarchy.l1d.access(address, arrive, is_store=True)
+                finish = arrive + self.config.l1d_hit_cycles
+                store_buffer[inst.lsid] = (address, value, inst)
+                resolved_stores[inst.lsid] = finish
+                store_addr_time[inst.lsid] = (finish, address, inst.width)
+                unpark()
+                return
+            if op is TOp.NULL:
+                if inst.lsid >= 0:
+                    resolved_stores[inst.lsid] = done
+                    unpark()
+                deliver(NULL_TOKEN, done, inst.targets, index, coord)
+                return
+            if op in _EXIT_SET:
+                if exit_taken is not None:
+                    raise TrapError(f"{block.label}: two exits fired")
+                exit_taken = inst
+                exit_time = self.opn.send(coord, GT_COORD, done, "ET-GT")
+                return
+            if op in TEST_OPS:
+                pass
+            elif op is TOp.MOV:
+                stats.moves += 1
+            value = _compute(op, inst, slots)
+            deliver(value, done, inst.targets, index, coord)
+
+        # Register reads: RT bank ports, then routed to consumers.
+        for read in block.reads:
+            bank = bank_of(read.reg)
+            when = self.rt_read_ports.claim(
+                bank, max(dispatch_base, self.reg_ready[read.reg]))
+            deliver(self.regs[read.reg], when, read.targets, -1,
+                    rt_coord(bank))
+
+        for index in range(n):
+            if need[index] == 0 and preds[index] is None:
+                ready.append(index)
+
+        guard = 0
+        while ready:
+            index = ready.pop()
+            if state.fired[index] or state.mispredicated[index]:
+                continue
+            guard += 1
+            if guard > 40 * n + 1000:
+                raise TrapError(f"{block.label}: execution livelock")
+            fire(index)
+
+        done_time = exit_time
+        for slot, write in enumerate(block.writes):
+            if slot not in write_values:
+                raise TrapError(f"{block.label}: write w{slot} missing")
+            value, when = write_values[slot]
+            if value is not NULL_TOKEN:
+                self.regs[write.reg] = value
+            self.reg_ready[write.reg] = when
+            done_time = max(done_time, when)
+        for lsid in store_lsids:
+            if lsid not in resolved_stores:
+                raise TrapError(f"{block.label}: store {lsid} unresolved")
+            done_time = max(done_time, resolved_stores[lsid])
+        # Commit buffered stores to memory in load/store-ID order — the
+        # LSQ's sequential-memory-semantics guarantee.
+        for lsid in sorted(store_buffer):
+            address, value, inst = store_buffer[lsid]
+            self._store_value(address, value, inst)
+        if exit_taken is None:
+            raise TrapError(f"{block.label}: no exit fired")
+        done_time += load_flush_penalty
+
+        # Statistics: composition and usage closure.
+        self._account(block, state, used_feed, write_producers, n)
+        stats.blocks_committed += 1
+        stats.fetched += n
+        residency = max(1, done_time - dispatch_base)
+        stats.window_inst_cycles += residency * n
+        useful_count = self._last_useful
+        stats.window_useful_cycles += residency * useful_count
+        return exit_taken, exit_time, done_time
+
+    _last_useful = 0
+
+    def _account(self, block, state, used_feed, write_producers, n) -> None:
+        stats = self.stats
+        used = [False] * n
+        worklist: List[int] = []
+        for index in range(n):
+            if not state.fired[index]:
+                continue
+            op = block.instructions[index].op
+            if op is TOp.STORE or op is TOp.NULL or op in _EXIT_SET:
+                used[index] = True
+                worklist.append(index)
+        for producer in write_producers.values():
+            if not used[producer]:
+                used[producer] = True
+                worklist.append(producer)
+        while worklist:
+            index = worklist.pop()
+            for producer in used_feed[index]:
+                if not used[producer]:
+                    used[producer] = True
+                    worklist.append(producer)
+        useful = 0
+        for index in range(n):
+            if not state.fired[index]:
+                stats.fetched_not_executed += 1
+            elif block.instructions[index].op is TOp.MOV:
+                pass
+            elif not used[index]:
+                stats.executed_not_used += 1
+            else:
+                useful += 1
+        stats.useful += useful
+        self._last_useful = useful
+
+    @staticmethod
+    def _class_of(src_coord, dst_kind: str) -> str:
+        x, y = src_coord
+        src_kind = "ET"
+        if x == 0:
+            src_kind = "GT" if y == 0 else "DT"
+        elif y == 0:
+            src_kind = "RT"
+        dst = dst_kind.upper()
+        if src_kind == "ET" or dst == "ET":
+            pair = sorted([src_kind, dst], key=lambda k: k != "ET")
+            return f"{pair[0]}-{pair[1]}"
+        return f"{src_kind}-{dst}"
+
+    # -- functional memory helpers ---------------------------------------------------
+
+    def _load_value(self, address: int, inst: TInst):
+        if inst.is_float:
+            return self.memory.load_float(address)
+        return self.memory.load_int(address, inst.width, inst.signed)
+
+    def _load_forwarded(self, address: int, inst: TInst,
+                        store_buffer) -> Tuple[object, int]:
+        """Load with store-buffer forwarding.
+
+        Returns (value, lsid of the youngest in-flight store that supplied
+        bytes, or -1).  Buffered stores are *not* written to memory here —
+        they commit in load/store-ID order at block completion — so the
+        view is reconstructed byte-wise over the memory image.
+        """
+        import struct
+
+        value, supplier = _buffered_load(self.memory, address, inst,
+                                         store_buffer, with_supplier=True)
+        return value, supplier
+
+    def _store_value(self, address: int, value, inst: TInst) -> None:
+        if isinstance(value, float):
+            self.memory.store_float(address, value)
+        else:
+            self.memory.store_int(address, inst.width, _as_int(value))
+
+
+def _overlap(addr_a: int, width_a: int, addr_b: int, width_b: int) -> bool:
+    return addr_a < addr_b + width_b and addr_b < addr_a + width_a
+
+
+def _buffered_load(memory, address: int, inst, store_buffer,
+                   with_supplier: bool = False):
+    """Read a value as seen past the in-flight store buffer.
+
+    Reconstructs the load's bytes from memory patched with every buffered
+    store whose load/store ID precedes the load — without committing the
+    stores (they commit in order at block completion).
+    """
+    import struct
+
+    from repro.ir.types import sign_extend, zero_extend
+
+    overlapping = sorted(
+        lsid for lsid, (a, _v, si) in store_buffer.items()
+        if lsid < inst.lsid and _overlap(address, inst.width, a, si.width))
+    if not overlapping:
+        if inst.is_float:
+            value = memory.load_float(address)
+        else:
+            value = memory.load_int(address, inst.width, inst.signed)
+        return (value, -1) if with_supplier else value
+    data = bytearray(memory.read_bytes(address, inst.width))
+    for lsid in overlapping:
+        saddr, svalue, sinst = store_buffer[lsid]
+        if isinstance(svalue, float):
+            payload = struct.pack("<d", svalue)
+        else:
+            payload = (int(svalue) & ((1 << (sinst.width * 8)) - 1)) \
+                .to_bytes(sinst.width, "little")
+        lo = max(address, saddr)
+        hi = min(address + inst.width, saddr + sinst.width)
+        data[lo - address:hi - address] = payload[lo - saddr:hi - saddr]
+    if inst.is_float:
+        value = struct.unpack("<d", bytes(data))[0]
+    else:
+        raw = int.from_bytes(bytes(data), "little")
+        value = sign_extend(raw, inst.width) if inst.signed \
+            else zero_extend(raw, inst.width)
+    return (value, overlapping[-1]) if with_supplier else value
+
+
+def run_cycles(lowered: LoweredProgram, entry: str = "main",
+               args: Optional[List[object]] = None,
+               config: Optional[TripsConfig] = None,
+               memory_size: int = 16 * 1024 * 1024):
+    """One-shot convenience: returns (result, simulator)."""
+    simulator = CycleSimulator(lowered, config, memory_size)
+    result = simulator.run(entry, args)
+    return result, simulator

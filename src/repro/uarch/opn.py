@@ -1,0 +1,122 @@
+"""Operand network (OPN) timing model.
+
+The OPN is a 5x5 wormhole-routed mesh delivering one 64-bit operand per
+link per cycle [Gratz et al.].  The node map mirrors the prototype
+floorplan:
+
+* column 0 holds the global tile (0,0) and the four data tiles (0,1..4),
+* row 0 holds the four register tiles (1..4,0),
+* the 4x4 execution array occupies (1..4, 1..4).
+
+Packets are single-operand (one flit) and use dimension-order (Y then X)
+routing.  Contention is modeled per link: a link carries one operand per
+cycle; packets arriving at a busy link queue behind it.  The model keeps
+the per-class hop histogram (ET-ET, ET-DT, ET-RT, ET-GT, DT-RT) that
+Figure 8 of the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+Coord = Tuple[int, int]
+
+
+def et_coord(tile: int, grid: int = 4) -> Coord:
+    """Mesh coordinate of an execution tile on a ``grid`` x ``grid`` array
+    (4 in the prototype; 2/8 in composable configurations)."""
+    return (tile % grid + 1, tile // grid + 1)
+
+
+def dt_coord(bank: int) -> Coord:
+    """Mesh coordinate of data tile (cache bank) 0..3."""
+    return (0, bank + 1)
+
+
+def rt_coord(bank: int) -> Coord:
+    """Mesh coordinate of register tile (bank) 0..3."""
+    return (bank + 1, 0)
+
+
+GT_COORD: Coord = (0, 0)
+
+
+def route(src: Coord, dst: Coord) -> List[Tuple[Coord, Coord]]:
+    """Dimension-order (Y-then-X) route as a list of directed links."""
+    links = []
+    x, y = src
+    while y != dst[1]:
+        step = 1 if dst[1] > y else -1
+        links.append(((x, y), (x, y + step)))
+        y += step
+    while x != dst[0]:
+        step = 1 if dst[0] > x else -1
+        links.append(((x, y), (x + step, y)))
+        x += step
+    return links
+
+
+def hop_count(src: Coord, dst: Coord) -> int:
+    return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+
+@dataclass
+class OpnStats:
+    """Traffic statistics by class, for the Figure 8 profile."""
+
+    packets: Dict[str, int] = field(default_factory=dict)
+    hops: Dict[str, int] = field(default_factory=dict)
+    hop_histogram: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    queue_cycles: int = 0
+
+    def record(self, klass: str, hops: int, queued: int) -> None:
+        self.packets[klass] = self.packets.get(klass, 0) + 1
+        self.hops[klass] = self.hops.get(klass, 0) + hops
+        key = (klass, min(hops, 5))
+        self.hop_histogram[key] = self.hop_histogram.get(key, 0) + 1
+        self.queue_cycles += queued
+
+    def average_hops(self) -> float:
+        total_packets = sum(self.packets.values())
+        total_hops = sum(self.hops.values())
+        return total_hops / total_packets if total_packets else 0.0
+
+    def class_histogram(self, klass: str) -> Dict[int, float]:
+        """Hop-count distribution (fractions) for one traffic class."""
+        total = self.packets.get(klass, 0)
+        if not total:
+            return {}
+        return {h: self.hop_histogram.get((klass, h), 0) / total
+                for h in range(6)}
+
+
+class OperandNetwork:
+    """Link-contention timing model of the 5x5 mesh."""
+
+    def __init__(self, hop_cycles: int = 1) -> None:
+        from repro.uarch.resources import ResourcePool
+        self.hop_cycles = hop_cycles
+        self.links = ResourcePool()
+        self.stats = OpnStats()
+
+    def send(self, src: Coord, dst: Coord, ready: int, klass: str) -> int:
+        """Deliver one operand; returns its arrival time.
+
+        ``ready`` is the cycle the operand leaves the source.  A local
+        bypass (src == dst) is free, matching the prototype's same-tile
+        forwarding.
+        """
+        if src == dst:
+            self.stats.record(klass, 0, 0)
+            return ready
+        time = ready
+        queued = 0
+        hops = 0
+        for link in route(src, dst):
+            start = self.links.claim(link, time)
+            queued += start - time
+            time = start + self.hop_cycles
+            hops += 1
+        self.stats.record(klass, hops, queued)
+        return time

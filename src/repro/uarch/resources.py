@@ -1,0 +1,64 @@
+"""Cycle-accurate single-server resource arbitration.
+
+A ``CycleResource`` models a resource that can serve one request per cycle
+(a register-file port, an ET issue slot, an OPN link, a cache bank port).
+``claim(t)`` returns the first cycle >= t at which the resource is free
+and marks it used.
+
+A naive "busy-until" counter is wrong for out-of-order claim patterns: a
+request at cycle 700 must not delay an unrelated request at cycle 450
+that arrives later in simulation order.  ``CycleResource`` therefore
+tracks the *set* of claimed cycles, with periodic pruning of the distant
+past to bound memory (requests are never issued for cycles far behind the
+maximum seen, so pruning below a trailing horizon is safe in practice).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+#: Prune when the claimed set exceeds this size...
+_PRUNE_LIMIT = 8192
+#: ...removing everything more than this many cycles behind the max.
+_HORIZON = 4096
+
+
+class CycleResource:
+    """One-request-per-cycle resource with out-of-order claims."""
+
+    __slots__ = ("claimed", "floor", "max_seen")
+
+    def __init__(self) -> None:
+        self.claimed: Set[int] = set()
+        self.floor = 0          # cycles below this are considered busy
+        self.max_seen = 0
+
+    def claim(self, cycle: int) -> int:
+        """Reserve the first free cycle >= ``cycle``; returns it."""
+        t = max(cycle, self.floor)
+        claimed = self.claimed
+        while t in claimed:
+            t += 1
+        claimed.add(t)
+        if t > self.max_seen:
+            self.max_seen = t
+        if len(claimed) > _PRUNE_LIMIT:
+            horizon = self.max_seen - _HORIZON
+            self.claimed = {c for c in claimed if c >= horizon}
+            self.floor = max(self.floor, horizon)
+        return t
+
+
+class ResourcePool:
+    """A lazily populated family of :class:`CycleResource` by key."""
+
+    __slots__ = ("resources",)
+
+    def __init__(self) -> None:
+        self.resources = {}
+
+    def claim(self, key, cycle: int) -> int:
+        resource = self.resources.get(key)
+        if resource is None:
+            resource = self.resources[key] = CycleResource()
+        return resource.claim(cycle)

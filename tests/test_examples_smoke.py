@@ -1,0 +1,40 @@
+"""Smoke tests: the fast example scripts must run to completion.
+
+(matmul_study and predictor_study are exercised indirectly — they reuse
+the same drivers as the benchmark harness — and are too slow for the
+unit suite.)
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "interpreter (golden model)" in out
+    assert "TRIPS speedup over Core 2" in out
+
+
+def test_hand_assembly():
+    out = _run("hand_assembly.py")
+    assert "OK" in out
+    assert "cycle-level simulator" in out
+
+
+def test_block_anatomy():
+    out = _run("block_anatomy.py")
+    assert "TRIPS block" in out
+    assert "Placement on the 4x4 execution array" in out

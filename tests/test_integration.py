@@ -1,0 +1,77 @@
+"""End-to-end integration: one program through every system in the repo.
+
+The central invariant of the whole reproduction (DESIGN.md Section 7):
+the IR interpreter, the RISC simulator, the TRIPS functional simulator,
+the TRIPS cycle simulator, the ideal machine, and every reference-platform
+model must agree on the architectural result of every program.
+"""
+
+import pytest
+
+from repro.bench import get
+from repro.ir import run_module
+from repro.opt import LEVELS, optimize
+from repro.refmodels import PLATFORMS, run_platform
+from repro.risc import lower_module as lower_risc, run_program
+from repro.trips import lower_module as lower_trips, run_trips
+from repro.uarch import run_cycles, run_ideal
+
+#: A fast, diverse subset covering int/float/branchy/call-heavy workloads.
+FAST_SET = ("rspeed", "a2time", "crc", "fbital", "vadd")
+
+
+@pytest.mark.parametrize("name", FAST_SET)
+def test_all_systems_agree(name):
+    module = get(name).module()
+    expected = run_module(module)[0]
+
+    for level in ("O0", "O2"):
+        optimized = optimize(module, level)
+        assert run_program(lower_risc(optimized))[0] == expected, \
+            f"RISC {level}"
+        lowered = lower_trips(optimized)
+        assert run_trips(lowered.program)[0] == expected, f"TRIPS-f {level}"
+        assert run_cycles(lowered)[0] == expected, f"TRIPS-c {level}"
+        assert run_ideal(lowered.program)[0] == expected, f"ideal {level}"
+
+    for key, spec in PLATFORMS.items():
+        assert run_platform(module, spec)[0] == expected, key
+
+
+def test_hand_variant_agrees():
+    module = get("fft").module()
+    expected = run_module(module)[0]
+    lowered = lower_trips(optimize(module, "HAND"))
+    assert run_trips(lowered.program)[0] == expected
+    assert run_cycles(lowered)[0] == expected
+
+
+def test_paper_shape_hand_beats_compiled_on_kernel():
+    """Hand optimization must not be slower on a regular kernel
+    (paper: hand ~1.5x compiled on average)."""
+    module = get("conv").module()
+    compiled = lower_trips(optimize(module, "O2"))
+    hand = lower_trips(optimize(module, "HAND"))
+    _, csim = run_cycles(compiled)
+    _, hsim = run_cycles(hand)
+    assert hsim.stats.cycles <= csim.stats.cycles * 1.15
+
+
+def test_paper_shape_window_occupancy_hundreds():
+    """Figure 6 territory: a loop-parallel kernel should keep hundreds of
+    instructions in flight."""
+    module = get("vadd").module()
+    lowered = lower_trips(optimize(module, "O2"))
+    _, sim = run_cycles(lowered)
+    assert sim.stats.avg_instructions_in_window > 100
+
+
+def test_paper_shape_ideal_speedup_bounded():
+    """Figure 10: the ideal 1K-window machine outperforms the prototype by
+    a moderate factor (paper ~2.5x), not orders of magnitude."""
+    module = get("autocor").module()
+    lowered = lower_trips(optimize(module, "O2"))
+    _, hw = run_cycles(lowered)
+    _, ideal = run_ideal(lowered.program)
+    ratio = hw.stats.cycles / ideal.stats.cycles
+    assert 1.0 <= ratio < 12.0

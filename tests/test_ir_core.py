@@ -1,0 +1,153 @@
+"""Tests for IR values, instructions, functions, and the builder."""
+
+import pytest
+
+from repro.ir import (
+    Builder, Const, Instruction, Module, Opcode, Type, VReg, const,
+    verify_module,
+)
+from repro.ir.function import GLOBAL_BASE
+from repro.ir.verify import VerificationError
+
+
+class TestValues:
+    def test_const_inference(self):
+        assert const(3).type is Type.I64
+        assert const(2.5).type is Type.F64
+        assert const(True).value == 1
+
+    def test_const_wraps(self):
+        assert const((1 << 64) + 7).value == 7
+
+    def test_vreg_identity(self):
+        a = VReg(1, Type.I64)
+        b = VReg(1, Type.I64)
+        assert a == b and hash(a) == hash(b)
+        assert a != VReg(2, Type.I64)
+
+    def test_const_rejects_strings(self):
+        with pytest.raises(TypeError):
+            const("nope")
+
+
+class TestInstruction:
+    def test_too_wide_store_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STORE, None, [const(1), const(4096)], width=3)
+
+    def test_uses_lists_registers_only(self):
+        r = VReg(5, Type.I64)
+        inst = Instruction(Opcode.ADD, VReg(6, Type.I64), [r, const(1)])
+        assert inst.uses == [r]
+
+    def test_replace_uses(self):
+        r = VReg(5, Type.I64)
+        s = VReg(7, Type.I64)
+        inst = Instruction(Opcode.ADD, VReg(6, Type.I64), [r, r])
+        inst.replace_uses(r, s)
+        assert inst.args == [s, s]
+
+
+class TestModule:
+    def test_global_layout_is_aligned_and_disjoint(self):
+        module = Module()
+        a = module.add_global("a", 24)
+        b = module.add_global("b", 100, align=16)
+        assert a.address >= GLOBAL_BASE
+        assert b.address % 16 == 0
+        assert b.address >= a.address + a.size
+
+    def test_duplicate_global_rejected(self):
+        module = Module()
+        module.add_global("a", 8)
+        with pytest.raises(ValueError):
+            module.add_global("a", 8)
+
+    def test_initializer_too_large_rejected(self):
+        module = Module()
+        with pytest.raises(ValueError):
+            module.add_global("a", 4, init=b"12345678")
+
+
+class TestBuilder:
+    def test_loop_emits_reducible_cfg(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        with b.loop(0, 5) as i:
+            b.add(i, 1)
+        b.ret(0)
+        verify_module(b.module)
+        func = b.module.function("main")
+        labels = [blk.label for blk in func.blocks]
+        assert any(l.startswith("loop_head") for l in labels)
+        assert func.reachable_labels()[0] == "entry"
+
+    def test_if_then_else_joins(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        x = b.mov(1)
+        with b.if_then_else(b.gt(x, 0)) as (then, otherwise):
+            with then:
+                b.assign(x, b.add(x, 10))
+            with otherwise:
+                b.assign(x, b.sub(x, 10))
+        b.ret(x)
+        verify_module(b.module)
+
+    def test_loop_rejects_register_step(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        step = b.mov(2)
+        with pytest.raises(ValueError):
+            with b.loop(0, 10, step):
+                pass
+
+
+class TestVerifier:
+    def test_unterminated_block(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        b.add(1, 2)
+        with pytest.raises(VerificationError):
+            verify_module(b.module)
+
+    def test_type_mismatch(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        f = b.mov(1.0)
+        bad = Instruction(Opcode.ADD, b.vreg(Type.I64), [f, const(1)])
+        b.emit(bad)
+        b.ret(0)
+        with pytest.raises(VerificationError):
+            verify_module(b.module)
+
+    def test_unknown_label(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        b.br("nowhere")
+        with pytest.raises(VerificationError):
+            verify_module(b.module)
+
+    def test_unknown_callee(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        b.call("ghost", [])
+        b.ret(0)
+        with pytest.raises(VerificationError):
+            verify_module(b.module)
+
+    def test_use_of_undefined_register(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        ghost = VReg(999, Type.I64)
+        b.emit(Instruction(Opcode.ADD, b.vreg(Type.I64), [ghost, const(1)]))
+        b.ret(0)
+        with pytest.raises(VerificationError):
+            verify_module(b.module)
+
+    def test_void_return_with_value(self):
+        b = Builder()
+        b.function("helper")
+        b.ret(5)
+        with pytest.raises(VerificationError):
+            verify_module(b.module)

@@ -1,0 +1,76 @@
+"""Unit tests for IR scalar types and 64-bit arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (
+    MASK64, Type, sign_extend, to_unsigned64, wrap64, zero_extend,
+)
+
+
+class TestType:
+    def test_kinds(self):
+        assert Type.I64.is_int and not Type.I64.is_float
+        assert Type.F64.is_float and not Type.F64.is_int
+
+    def test_str(self):
+        assert str(Type.I64) == "i64"
+        assert str(Type.F64) == "f64"
+
+
+class TestWrap64:
+    def test_identity_in_range(self):
+        assert wrap64(42) == 42
+        assert wrap64(-42) == -42
+
+    def test_wraps_positive_overflow(self):
+        assert wrap64(1 << 63) == -(1 << 63)
+        assert wrap64((1 << 64) + 5) == 5
+
+    def test_wraps_negative_overflow(self):
+        assert wrap64(-(1 << 63) - 1) == (1 << 63) - 1
+
+    def test_boundaries(self):
+        assert wrap64((1 << 63) - 1) == (1 << 63) - 1
+        assert wrap64(-(1 << 63)) == -(1 << 63)
+
+    @given(st.integers())
+    def test_always_in_signed_range(self, value):
+        wrapped = wrap64(value)
+        assert -(1 << 63) <= wrapped < (1 << 63)
+
+    @given(st.integers())
+    def test_idempotent(self, value):
+        assert wrap64(wrap64(value)) == wrap64(value)
+
+    @given(st.integers(), st.integers())
+    def test_addition_homomorphism(self, a, b):
+        assert wrap64(wrap64(a) + wrap64(b)) == wrap64(a + b)
+
+
+class TestUnsigned:
+    def test_negative_reinterprets(self):
+        assert to_unsigned64(-1) == MASK64
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_round_trip(self, value):
+        assert wrap64(to_unsigned64(value)) == value
+
+
+class TestExtension:
+    @pytest.mark.parametrize("width,raw,expected", [
+        (1, 0x80, -128), (1, 0x7F, 127),
+        (2, 0x8000, -32768), (4, 0xFFFFFFFF, -1), (8, MASK64, -1),
+    ])
+    def test_sign_extend(self, width, raw, expected):
+        assert sign_extend(raw, width) == expected
+
+    @pytest.mark.parametrize("width,raw,expected", [
+        (1, 0x80, 128), (2, 0xFFFF, 65535), (4, 0xFFFFFFFF, 0xFFFFFFFF),
+    ])
+    def test_zero_extend(self, width, raw, expected):
+        assert zero_extend(raw, width) == expected
+
+    @given(st.integers(-128, 127))
+    def test_byte_round_trip(self, value):
+        assert sign_extend(value & 0xFF, 1) == value

@@ -1,0 +1,204 @@
+"""TRIPS ISA structure tests: instructions, blocks, assembler, encoding."""
+
+import pytest
+
+from repro.isa import (
+    HEADER_BYTES, AsmError, BlockConstraintError, MAX_BLOCK_INSTS,
+    ReadInst, Slot, Target, TInst, TOp, TripsBlock, WriteInst, block_bytes,
+    block_nops, format_block, operand_count, parse_block, write_target,
+)
+
+
+def _minimal_block(label="b0"):
+    block = TripsBlock(label)
+    block.instructions = [
+        TInst(0, TOp.GENI, [write_target(0)], imm=7),
+        TInst(1, TOp.BRO, label="b0"),
+    ]
+    block.writes = [WriteInst(0, 13)]
+    return block
+
+
+class TestInstructionModel:
+    def test_target_cap_enforced(self):
+        with pytest.raises(ValueError):
+            TInst(0, TOp.ADD, [Target(1, Slot.OP0), Target(2, Slot.OP0),
+                               Target(3, Slot.OP0)])
+
+    def test_predicate_validation(self):
+        with pytest.raises(ValueError):
+            TInst(0, TOp.ADD, predicate="X")
+
+    @pytest.mark.parametrize("op,count", [
+        (TOp.ADD, 2), (TOp.MOV, 1), (TOp.LOAD, 1), (TOp.STORE, 2),
+        (TOp.GENI, 0), (TOp.NULL, 0), (TOp.BRO, 0), (TOp.RET, 0),
+    ])
+    def test_operand_counts(self, op, count):
+        assert operand_count(op) == count
+
+    @pytest.mark.parametrize("op,category", [
+        (TOp.ADD, "arith"), (TOp.LOAD, "memory"), (TOp.NULL, "memory"),
+        (TOp.BRO, "control"), (TOp.TEQ, "test"), (TOp.MOV, "move"),
+    ])
+    def test_categories(self, op, category):
+        assert TInst(0, op).category == category
+
+
+class TestBlockValidation:
+    def test_minimal_block_valid(self):
+        _minimal_block().validate()
+
+    def test_instruction_cap(self):
+        block = _minimal_block()
+        block.instructions = [
+            TInst(i, TOp.GENI) for i in range(MAX_BLOCK_INSTS + 1)]
+        with pytest.raises(BlockConstraintError):
+            block.validate()
+
+    def test_no_exit_rejected(self):
+        block = _minimal_block()
+        block.instructions = [TInst(0, TOp.GENI, [write_target(0)])]
+        with pytest.raises(BlockConstraintError):
+            block.validate()
+
+    def test_exit_cap(self):
+        block = _minimal_block()
+        block.instructions = [
+            TInst(i, TOp.BRO, label="b0", predicate="T") for i in range(9)]
+        with pytest.raises(BlockConstraintError):
+            block.validate()
+
+    def test_unproduced_write_rejected(self):
+        block = _minimal_block()
+        block.writes.append(WriteInst(1, 14))
+        with pytest.raises(BlockConstraintError):
+            block.validate()
+
+    def test_duplicate_write_register_rejected(self):
+        block = _minimal_block()
+        block.instructions[0].targets.append(write_target(1))
+        block.writes.append(WriteInst(1, 13))
+        with pytest.raises(BlockConstraintError):
+            block.validate()
+
+    def test_two_unpredicated_producers_rejected(self):
+        block = TripsBlock("b")
+        block.instructions = [
+            TInst(0, TOp.GENI, [Target(2, Slot.OP0)], imm=1),
+            TInst(1, TOp.GENI, [Target(2, Slot.OP0)], imm=2),
+            TInst(2, TOp.MOV, [write_target(0)]),
+            TInst(3, TOp.BRO, label="b"),
+        ]
+        block.writes = [WriteInst(0, 13)]
+        with pytest.raises(BlockConstraintError):
+            block.validate()
+
+    def test_predicated_merge_accepted(self):
+        block = TripsBlock("b")
+        block.instructions = [
+            TInst(0, TOp.GENI, [Target(1, Slot.OP0)], imm=1),
+            TInst(1, TOp.TNE, [Target(2, Slot.PRED), Target(3, Slot.PRED)]),
+            TInst(2, TOp.GENI, [Target(4, Slot.OP0)], imm=5, predicate="T"),
+            TInst(3, TOp.GENI, [Target(4, Slot.OP0)], imm=6, predicate="F"),
+            TInst(4, TOp.MOV, [write_target(0)]),
+            TInst(5, TOp.BRO, label="b"),
+        ]
+        block.instructions[1].targets = [Target(2, Slot.PRED),
+                                         Target(3, Slot.PRED)]
+        # wire TNE operands
+        block.instructions[0].targets = [Target(1, Slot.OP0)]
+        block.reads = [ReadInst(0, 3, [Target(1, Slot.OP1)])]
+        block.writes = [WriteInst(0, 13)]
+        block.validate()
+
+    def test_gated_forwarding_mov_accepted(self):
+        """A MOV fed only by a predicated producer counts as gated."""
+        block = TripsBlock("b")
+        block.instructions = [
+            TInst(0, TOp.GENI, [Target(1, Slot.OP0)], imm=1),
+            TInst(1, TOp.TNE, [Target(2, Slot.PRED), Target(3, Slot.PRED)]),
+            TInst(2, TOp.GENI, [Target(4, Slot.OP0)], imm=5, predicate="T"),
+            TInst(3, TOp.GENI, [Target(5, Slot.OP0)], imm=6, predicate="F"),
+            TInst(4, TOp.MOV, [Target(5, Slot.OP0)]),  # forwards gated value
+            TInst(5, TOp.MOV, [write_target(0)]),
+            TInst(6, TOp.BRO, label="b"),
+        ]
+        block.reads = [ReadInst(0, 3, [Target(1, Slot.OP1)])]
+        block.writes = [WriteInst(0, 13)]
+        block.validate()
+
+    def test_predicate_to_unpredicated_rejected(self):
+        block = _minimal_block()
+        block.instructions[0].targets = [Target(1, Slot.PRED)]
+        block.writes = []
+        with pytest.raises(BlockConstraintError):
+            block.validate()
+
+
+class TestAssembler:
+    def test_round_trip_minimal(self):
+        block = _minimal_block()
+        text = format_block(block)
+        parsed = parse_block(text)
+        assert format_block(parsed) == text
+
+    def test_round_trip_rich_block(self):
+        block = TripsBlock("rich")
+        block.reads = [ReadInst(0, 3, [Target(0, Slot.OP0)]),
+                       ReadInst(1, 70, [Target(1, Slot.OP0)])]
+        block.instructions = [
+            TInst(0, TOp.TLT, [Target(2, Slot.PRED), Target(3, Slot.PRED)]),
+            TInst(1, TOp.LOAD, [Target(2, Slot.OP0)], lsid=0, width=4,
+                  signed=False, imm=16),
+            TInst(2, TOp.ADD, [write_target(0)], predicate="T"),
+            TInst(3, TOp.NULL, [], predicate="F", lsid=1),
+            TInst(4, TOp.BRO, label="rich"),
+        ]
+        block.writes = [WriteInst(0, 13)]
+        text = format_block(block)
+        parsed = parse_block(text)
+        assert format_block(parsed) == text
+        assert parsed.instructions[1].width == 4
+        assert parsed.instructions[1].signed is False
+        assert parsed.instructions[2].predicate == "T"
+
+    def test_parse_errors(self):
+        with pytest.raises(AsmError):
+            parse_block("not a block")
+        with pytest.raises(AsmError):
+            parse_block("block x\n  i0: frobnicate\nend")
+        with pytest.raises(AsmError):
+            parse_block("block x\n  i0: add -> q9\nend")
+
+    def test_call_continuation_round_trip(self):
+        block = TripsBlock("caller")
+        block.instructions = [
+            TInst(0, TOp.CALLO, label="callee", cont="after"),
+        ]
+        parsed = parse_block(format_block(block))
+        assert parsed.instructions[0].label == "callee"
+        assert parsed.instructions[0].cont == "after"
+
+
+class TestEncoding:
+    def test_header_is_128_bytes(self):
+        assert HEADER_BYTES == 128
+
+    @pytest.mark.parametrize("count,chunks", [
+        (1, 32), (31, 32), (32, 32), (33, 64), (64, 64), (100, 128),
+        (128, 128),
+    ])
+    def test_compression_quantum(self, count, chunks):
+        block = TripsBlock("b")
+        block.instructions = [TInst(i, TOp.GENI) for i in range(count)]
+        assert block_bytes(block, compressed=True) == \
+            HEADER_BYTES + chunks * 4
+
+    def test_uncompressed_always_full(self):
+        block = _minimal_block()
+        assert block_bytes(block, compressed=False) == HEADER_BYTES + 512
+
+    def test_nop_accounting(self):
+        block = _minimal_block()
+        assert block_nops(block, compressed=True) == 30
+        assert block_nops(block, compressed=False) == 126

@@ -1,0 +1,89 @@
+"""Coverage for the flat memory model and benchmark-authoring helpers."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench._util import Lcg, init_f64, init_i64
+from repro.ir import Memory, TrapError
+
+
+class TestMemory:
+    def test_bounds_checked(self):
+        memory = Memory(1024)
+        with pytest.raises(TrapError):
+            memory.load_int(1020, 8, True)
+        with pytest.raises(TrapError):
+            memory.store_int(-1, 1, 0)
+
+    @given(st.integers(-(1 << 63), (1 << 63) - 1))
+    def test_int64_round_trip(self, value):
+        memory = Memory(64)
+        memory.store_int(8, 8, value)
+        assert memory.load_int(8, 8, True) == value
+
+    @given(st.integers(0, 255))
+    def test_byte_signedness(self, raw):
+        memory = Memory(64)
+        memory.store_int(0, 1, raw)
+        unsigned = memory.load_int(0, 1, False)
+        signed = memory.load_int(0, 1, True)
+        assert unsigned == raw
+        assert signed == (raw if raw < 128 else raw - 256)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_round_trip(self, value):
+        memory = Memory(64)
+        memory.store_float(16, value)
+        assert memory.load_float(16) == value
+
+    def test_little_endian_layout(self):
+        memory = Memory(64)
+        memory.store_int(0, 8, 0x0102030405060708)
+        assert memory.read_bytes(0, 8) == \
+            bytes([8, 7, 6, 5, 4, 3, 2, 1])
+
+    def test_write_read_bytes(self):
+        memory = Memory(64)
+        memory.write_bytes(10, b"hello")
+        assert memory.read_bytes(10, 5) == b"hello"
+
+
+class TestInitializers:
+    def test_init_i64_negative(self):
+        data = init_i64([-1, 0, 1])
+        assert struct.unpack("<q", data[0:8])[0] == -1
+        assert struct.unpack("<q", data[8:16])[0] == 0
+        assert struct.unpack("<q", data[16:24])[0] == 1
+
+    def test_init_f64(self):
+        data = init_f64([1.5, -2.25])
+        assert struct.unpack("<d", data[0:8])[0] == 1.5
+        assert struct.unpack("<d", data[8:16])[0] == -2.25
+
+    def test_memory_and_initializer_agree(self):
+        memory = Memory(64)
+        memory.write_bytes(0, init_i64([-42]))
+        assert memory.load_int(0, 8, True) == -42
+
+
+class TestLcg:
+    def test_deterministic(self):
+        a = Lcg(5)
+        b = Lcg(5)
+        assert [a.next() for _ in range(10)] == \
+            [b.next() for _ in range(10)]
+
+    def test_seeds_differ(self):
+        assert Lcg(1).next() != Lcg(2).next()
+
+    def test_below_in_range(self):
+        rng = Lcg(9)
+        for _ in range(200):
+            assert 0 <= rng.below(17) < 17
+
+    def test_float01_in_range(self):
+        rng = Lcg(11)
+        for _ in range(200):
+            assert 0.0 <= rng.float01() < 1.0

@@ -1,0 +1,92 @@
+"""Tests for constant-add-chain flattening (the induction rewrite)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Builder, Opcode, Type, run_module, verify_module
+from repro.opt.constfold import flatten_add_chains, flatten_module
+from repro.opt.unroll import unroll_module
+
+
+class TestFlattenAddChains:
+    def test_straightline_chain(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        x = b.mov(100)
+        a1 = b.add(x, 1)
+        a2 = b.add(a1, 2)
+        a3 = b.add(a2, 3)
+        b.ret(b.add(b.add(a1, a2), a3))
+        expected = run_module(b.module)[0]
+        rewrites = flatten_module(b.module)
+        assert rewrites >= 2
+        verify_module(b.module)
+        assert run_module(b.module)[0] == expected
+        # a3 should now read the chain root directly.
+        func = b.module.function("main")
+        adds = [i for i in func.instructions() if i.op is Opcode.ADD]
+        assert any(i.args[0] == x and getattr(i.args[1], "value", None) == 6
+                   for i in adds)
+
+    def test_chain_broken_by_redefinition(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        x = b.mov(10)
+        a1 = b.add(x, 1)
+        b.assign(x, 99)            # root redefined: chain must not cross
+        a2 = b.add(a1, 2)
+        b.ret(b.add(a2, x))
+        expected = run_module(b.module)[0]
+        flatten_module(b.module)
+        assert run_module(b.module)[0] == expected
+
+    def test_mov_alias_rerooting(self):
+        """The loop-carried idiom: i = mov(i + 1) repeated — later adds
+        must re-root at the fresh temporary, not the mutating register."""
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        i = b.mov(5, "i")
+        outs = []
+        for _ in range(4):
+            bumped = b.add(i, 1)
+            b.assign(i, bumped)
+            outs.append(i)
+        total = b.mov(0)
+        b.assign(total, b.add(total, i))
+        b.ret(total)
+        expected = run_module(b.module)[0]
+        assert flatten_module(b.module) >= 1
+        assert run_module(b.module)[0] == expected
+
+    def test_flattening_shortens_unrolled_chains(self):
+        b = Builder()
+        arr = b.global_array("a", 64, 8)
+        b.function("main", return_type=Type.I64)
+        t = b.mov(0)
+        with b.loop(0, 32) as i:
+            b.assign(t, b.add(t, b.load(b.add(arr, b.shl(i, 3)))))
+        b.ret(t)
+        module = b.module
+        expected = run_module(module)[0]
+        unroll_module(module, 4)
+        assert flatten_module(module) > 0
+        assert run_module(module)[0] == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-50, 50), min_size=2, max_size=8),
+           st.integers(-100, 100))
+    def test_random_chains_preserve_value(self, increments, seed):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        x = b.mov(seed)
+        values = [x]
+        for inc in increments:
+            values.append(b.add(values[-1], inc))
+        total = b.mov(0)
+        for v in values:
+            b.assign(total, b.add(total, v))
+        b.ret(total)
+        expected = run_module(b.module)[0]
+        flatten_module(b.module)
+        verify_module(b.module)
+        assert run_module(b.module)[0] == expected

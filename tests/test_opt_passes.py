@@ -1,0 +1,320 @@
+"""Unit tests for individual optimizer passes."""
+
+import pytest
+
+from repro.ir import Builder, Instruction, Opcode, Type, const, run_module, \
+    verify_module
+from repro.opt import (
+    cse_module, eliminate_dead_code, fold_function, fold_module,
+    inline_module, propagate_copies, reduce_module, unroll_module,
+)
+from repro.opt.unroll import find_simple_loops
+
+
+def _fresh_function():
+    b = Builder()
+    b.function("main", return_type=Type.I64)
+    return b
+
+
+class TestConstFold:
+    def test_folds_arith(self):
+        b = _fresh_function()
+        x = b.add(2, 3)
+        y = b.mul(x, 4)
+        b.ret(y)
+        fold_module(b.module)
+        propagate_copies(b.module.function("main"))
+        fold_module(b.module)
+        assert run_module(b.module)[0] == 20
+        ops = [i.op for i in b.module.function("main").instructions()]
+        assert Opcode.MUL not in ops
+
+    def test_mul_by_power_of_two_becomes_shift(self):
+        b = _fresh_function()
+        x = b.mov(7)
+        b.ret(b.mul(x, 8))
+        fold_module(b.module)
+        ops = [i.op for i in b.module.function("main").instructions()]
+        assert Opcode.SHL in ops and Opcode.MUL not in ops
+        assert run_module(b.module)[0] == 56
+
+    def test_add_zero_dissolves(self):
+        b = _fresh_function()
+        x = b.mov(9)
+        b.ret(b.add(x, 0))
+        fold_module(b.module)
+        ops = [i.op for i in b.module.function("main").instructions()]
+        assert Opcode.ADD not in ops
+
+    def test_preserves_division_trap(self):
+        b = _fresh_function()
+        b.ret(b.div(1, 0))
+        changed = fold_function(b.module.function("main"))
+        ops = [i.op for i in b.module.function("main").instructions()]
+        assert Opcode.DIV in ops  # fold must not hide the trap
+
+    def test_x_minus_x(self):
+        b = _fresh_function()
+        x = b.mov(1234)
+        b.ret(b.sub(x, x))
+        fold_module(b.module)
+        assert run_module(b.module)[0] == 0
+
+
+class TestDce:
+    def test_removes_dead_arith(self):
+        b = _fresh_function()
+        live = b.add(1, 2)
+        b.mul(live, 10)  # dead
+        b.ret(live)
+        removed = eliminate_dead_code(b.module.function("main"))
+        assert removed >= 1
+        assert run_module(b.module)[0] == 3
+
+    def test_keeps_stores(self):
+        b = Builder()
+        buf = b.global_array("buf", 1, 8)
+        b.function("main", return_type=Type.I64)
+        b.store(5, buf)
+        b.ret(b.load(buf))
+        eliminate_dead_code(b.module.function("main"))
+        assert run_module(b.module)[0] == 5
+
+    def test_removes_unreachable_blocks(self):
+        b = _fresh_function()
+        b.ret(1)
+        dead = b.block("dead")
+        b.switch_to(dead)
+        b.ret(2)
+        eliminate_dead_code(b.module.function("main"))
+        assert not b.module.function("main").has_block("dead")
+
+    def test_keeps_loop_carried_values(self):
+        b = _fresh_function()
+        acc = b.mov(0)
+        with b.loop(0, 5) as i:
+            b.assign(acc, b.add(acc, i))
+        b.ret(acc)
+        eliminate_dead_code(b.module.function("main"))
+        assert run_module(b.module)[0] == 10
+
+
+class TestCse:
+    def test_dedups_pure_expression(self):
+        b = _fresh_function()
+        x = b.mov(6)
+        a = b.mul(x, x)
+        c = b.mul(x, x)
+        b.ret(b.add(a, c))
+        n = cse_module(b.module)
+        assert n == 1
+        assert run_module(b.module)[0] == 72
+
+    def test_commutative_canonicalization(self):
+        b = _fresh_function()
+        x = b.mov(3)
+        y = b.mov(4)
+        a = b.add(x, y)
+        c = b.add(y, x)
+        b.ret(b.mul(a, c))
+        assert cse_module(b.module) == 1
+
+    def test_redundant_load_eliminated(self):
+        b = Builder()
+        buf = b.global_array("buf", 1, 8)
+        b.function("main", return_type=Type.I64)
+        b.store(9, buf)
+        first = b.load(buf)
+        second = b.load(buf)
+        b.ret(b.add(first, second))
+        assert cse_module(b.module) >= 1
+        assert run_module(b.module)[0] == 18
+
+    def test_store_kills_aliasing_load(self):
+        b = Builder()
+        buf = b.global_array("buf", 2, 8)
+        b.function("main", [Type.I64])
+        b.function2 = None
+        # separate function with an unknown address operand
+        b2 = Builder()
+        buf2 = b2.global_array("buf", 2, 8)
+        p = b2.function("main", [Type.I64], Type.I64)
+        first = b2.load(buf2)
+        b2.store(1, p[0])       # may alias buf2
+        second = b2.load(buf2)
+        b2.ret(b2.add(first, second))
+        before = [i.op for i in b2.module.function("main").instructions()]
+        cse_module(b2.module)
+        after = [i.op for i in b2.module.function("main").instructions()]
+        assert after.count(Opcode.LOAD) == before.count(Opcode.LOAD)
+
+    def test_self_referencing_def_not_recorded(self):
+        b = _fresh_function()
+        x = b.mov(2)
+        b.emit(Instruction(Opcode.ADD, x, [x, const(1)]))
+        b.emit(Instruction(Opcode.ADD, x, [x, const(1)]))
+        b.ret(x)
+        cse_module(b.module)
+        assert run_module(b.module)[0] == 4
+
+
+class TestUnroll:
+    def _loop_module(self, n=13, factor=None):
+        b = Builder()
+        arr = b.global_array("arr", 32, 8)
+        b.function("main", return_type=Type.I64)
+        total = b.mov(0)
+        with b.loop(0, n) as i:
+            b.store(b.mul(i, 2), b.add(arr, b.shl(i, 3)))
+            b.assign(total, b.add(total, i))
+        b.ret(total)
+        return b.module
+
+    def test_finds_canonical_loop(self):
+        module = self._loop_module()
+        loops = find_simple_loops(module.function("main"))
+        assert len(loops) == 1
+
+    @pytest.mark.parametrize("factor", [2, 3, 4, 8])
+    def test_semantics_preserved(self, factor):
+        module = self._loop_module()
+        expected = run_module(module)[0]
+        applied = unroll_module(module, factor)
+        assert applied == 1
+        verify_module(module)
+        assert run_module(module)[0] == expected
+
+    @pytest.mark.parametrize("trip", [0, 1, 2, 7, 8, 9])
+    def test_odd_trip_counts(self, trip):
+        module = self._loop_module(n=trip)
+        expected = run_module(module)[0]
+        unroll_module(module, 4)
+        assert run_module(module)[0] == expected
+
+    def test_respects_body_size_limit(self):
+        module = self._loop_module()
+        assert unroll_module(module, 2, max_body_size=1) == 0
+
+
+class TestInline:
+    def test_inlines_small_callee(self):
+        b = Builder()
+        p = b.function("double", [Type.I64], Type.I64)
+        b.ret(b.mul(p[0], 2))
+        b.function("main", return_type=Type.I64)
+        b.ret(b.call("double", [21], Type.I64))
+        assert inline_module(b.module) == 1
+        verify_module(b.module)
+        main = b.module.function("main")
+        assert all(i.op is not Opcode.CALL for i in main.instructions())
+        assert run_module(b.module)[0] == 42
+
+    def test_skips_recursive(self):
+        b = Builder()
+        p = b.function("f", [Type.I64], Type.I64)
+        small = b.lt(p[0], 1)
+        with b.if_then(small):
+            b.ret(0)
+        b.ret(b.call("f", [b.sub(p[0], 1)], Type.I64))
+        b.function("main", return_type=Type.I64)
+        b.ret(b.call("f", [3], Type.I64))
+        assert inline_module(b.module) == 0
+
+    def test_inline_preserves_branches(self):
+        b = Builder()
+        p = b.function("absolute", [Type.I64], Type.I64)
+        neg = b.lt(p[0], 0)
+        with b.if_then(neg):
+            b.ret(b.sub(0, p[0]))
+        b.ret(p[0])
+        b.function("main", return_type=Type.I64)
+        a = b.call("absolute", [-5], Type.I64)
+        c = b.call("absolute", [7], Type.I64)
+        b.ret(b.add(a, c))
+        inline_module(b.module)
+        verify_module(b.module)
+        assert run_module(b.module)[0] == 12
+
+
+class TestTreeHeight:
+    def test_rebalances_add_chain(self):
+        b = _fresh_function()
+        leaves = [b.mov(k + 1) for k in range(8)]
+        acc = leaves[0]
+        for leaf in leaves[1:]:
+            acc = b.add(acc, leaf)
+        b.ret(acc)
+        expected = run_module(b.module)[0]
+        assert reduce_module(b.module) >= 1
+        verify_module(b.module)
+        assert run_module(b.module)[0] == expected
+
+    def test_skips_when_leaf_redefined(self):
+        b = _fresh_function()
+        a = b.mov(1)
+        t1 = b.add(a, 2)
+        b.assign(a, 100)          # redefine leaf between links
+        t2 = b.add(t1, 3)
+        t3 = b.add(t2, a)
+        b.ret(t3)
+        expected = run_module(b.module)[0]
+        reduce_module(b.module)
+        assert run_module(b.module)[0] == expected
+
+    def test_float_reassociation_gated(self):
+        b = _fresh_function()
+        leaves = [b.mov(float(k) + 0.5) for k in range(6)]
+        acc = leaves[0]
+        for leaf in leaves[1:]:
+            acc = b.fadd(acc, leaf)
+        b.ret(b.f2i(acc))
+        assert reduce_module(b.module, allow_float=False) == 0
+        assert reduce_module(b.module, allow_float=True) >= 1
+
+
+class TestExactUnroll:
+    def _rebinding_sum(self):
+        from repro.bench._util import init_i64
+        b = Builder()
+        arr = b.global_array("a", 8, 8, init_i64([5, 2, 7, 1, 9, 4, 3, 6]))
+        b.function("main", return_type=Type.I64)
+        total = b.mov(0)
+        with b.loop(0, 8) as i:
+            # Rebinding style: each iteration defines a fresh register that
+            # is live-out of the loop — a regression case for exact
+            # unrolling (the last copy's definition must win).
+            total = b.add(total, b.load(b.add(arr, b.shl(i, 3))))
+        b.ret(total)
+        return b.module
+
+    @pytest.mark.parametrize("factor", [2, 4, 8])
+    def test_live_out_rebinding_preserved(self, factor):
+        module = self._rebinding_sum()
+        expected = run_module(module)[0]
+        unroll_module(module, factor)
+        verify_module(module)
+        assert run_module(module)[0] == expected
+
+    def test_exact_unroll_removes_intermediate_tests(self):
+        module = self._rebinding_sum()
+        unroll_module(module, 4)
+        func = module.function("main")
+        # Exactly one conditional branch (the head's) survives per loop.
+        cbrs = sum(1 for i in func.instructions()
+                   if i.op is Opcode.CBR)
+        assert cbrs == 1
+
+    def test_non_divisible_falls_back(self):
+        from repro.bench._util import init_i64
+        b = Builder()
+        arr = b.global_array("a", 7, 8, init_i64(range(7)))
+        b.function("main", return_type=Type.I64)
+        total = b.mov(0)
+        with b.loop(0, 7) as i:
+            b.assign(total, b.add(total, b.load(b.add(arr, b.shl(i, 3)))))
+        b.ret(total)
+        module = b.module
+        expected = run_module(module)[0]
+        unroll_module(module, 8)   # 7 % 8 != 0 and no smaller divisor > 1
+        assert run_module(module)[0] == expected

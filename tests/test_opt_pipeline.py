@@ -1,0 +1,58 @@
+"""Pipeline-level properties: every optimization level preserves
+semantics, on canonical modules and on randomized programs."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ir import run_module, verify_module
+from repro.opt import LEVELS, optimize
+
+from tests.util import branchy_module, random_program, sum_of_squares_module
+
+
+class TestPipelines:
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_sum_of_squares(self, level):
+        module = sum_of_squares_module(17)
+        expected = run_module(module)[0]
+        optimized = optimize(module, level)
+        verify_module(optimized)
+        assert run_module(optimized)[0] == expected
+
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_branchy(self, level):
+        module = branchy_module([4, -2, 0, 9, -9, 1, 1, -5])
+        expected = run_module(module)[0]
+        assert run_module(optimize(module, level))[0] == expected
+
+    def test_input_module_untouched(self):
+        module = sum_of_squares_module(9)
+        before = str(module)
+        optimize(module, "HAND")
+        assert str(module) == before
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            optimize(sum_of_squares_module(3), "O9")
+
+    def test_optimization_reduces_dynamic_instructions(self):
+        module = sum_of_squares_module(25)
+        base = run_module(module)[1].stats.executed
+        opt = run_module(optimize(module, "O2"))[1].stats.executed
+        assert opt <= base
+
+
+class TestRandomizedSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(random_program())
+    def test_o2_preserves_semantics(self, module):
+        expected = run_module(module)[0]
+        optimized = optimize(module, "O2")
+        verify_module(optimized)
+        assert run_module(optimized)[0] == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_program())
+    def test_hand_preserves_semantics(self, module):
+        expected = run_module(module)[0]
+        assert run_module(optimize(module, "HAND"))[0] == expected

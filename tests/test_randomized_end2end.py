@@ -1,0 +1,37 @@
+"""Randomized end-to-end properties: generated programs must produce the
+interpreter's result on the cycle-level and ideal machines too (the
+functional simulators are covered in test_trips_backend/test_risc)."""
+
+from hypothesis import given, settings
+
+from repro.ir import run_module
+from repro.opt import optimize
+from repro.trips import lower_module
+from repro.uarch import run_cycles, run_ideal
+
+from tests.util import random_program
+
+
+@settings(max_examples=12, deadline=None)
+@given(random_program(max_ops=8))
+def test_cycle_simulator_matches_interpreter(module):
+    expected = run_module(module)[0]
+    lowered = lower_module(optimize(module, "O2"))
+    assert run_cycles(lowered)[0] == expected
+
+
+@settings(max_examples=12, deadline=None)
+@given(random_program(max_ops=8))
+def test_ideal_machine_matches_interpreter(module):
+    expected = run_module(module)[0]
+    lowered = lower_module(optimize(module, "O2"))
+    assert run_ideal(lowered.program)[0] == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_program(max_ops=6))
+def test_basic_block_formation_matches(module):
+    expected = run_module(module)[0]
+    lowered = lower_module(optimize(module, "O0"), formation="basic")
+    from repro.trips import run_trips
+    assert run_trips(lowered.program)[0] == expected

@@ -1,0 +1,83 @@
+"""Reference-platform model tests."""
+
+import pytest
+
+from repro.ir import run_module
+from repro.refmodels import (
+    CORE2, PENTIUM3, PENTIUM4, PLATFORMS, SuperscalarModel, run_platform,
+    run_powerpc,
+)
+
+from tests.util import branchy_module, sum_of_squares_module
+
+
+class TestPlatformSpecs:
+    def test_registry(self):
+        assert set(PLATFORMS) == {"core2", "p4", "p3"}
+
+    def test_memory_ratio_ordering(self):
+        """DRAM latency in cycles must track the Table 1 clock ratios."""
+        assert PENTIUM4.dram_cycles > CORE2.dram_cycles > PENTIUM3.dram_cycles
+
+    def test_core2_widest(self):
+        assert CORE2.issue_width >= PENTIUM4.issue_width
+        assert CORE2.issue_width >= PENTIUM3.issue_width
+
+
+class TestExecution:
+    def test_results_correct_everywhere(self):
+        module = sum_of_squares_module(14)
+        expected = run_module(module)[0]
+        for key in PLATFORMS:
+            result, stats = run_platform(module, PLATFORMS[key])
+            assert result == expected
+            assert stats.cycles > 0
+
+    def test_core2_fastest_on_parallel_code(self):
+        module = sum_of_squares_module(64)
+        _, core2 = run_platform(module, CORE2)
+        _, p3 = run_platform(module, PENTIUM3)
+        assert core2.cycles < p3.cycles
+
+    def test_p4_pays_for_mispredictions(self):
+        # Data-dependent alternating branches hurt the deep P4 pipeline
+        # more than the short-pipeline P3 (per mispredict).
+        import random
+        rng = random.Random(5)
+        values = [rng.choice([7, -7]) for _ in range(160)]
+        module = branchy_module(values)
+        _, p4 = run_platform(module, PENTIUM4)
+        _, p3 = run_platform(module, PENTIUM3)
+        assert p4.branch_mispredictions > 0
+        penalty4 = p4.branch_mispredictions * PENTIUM4.mispredict_penalty
+        penalty3 = p3.branch_mispredictions * PENTIUM3.mispredict_penalty
+        assert penalty4 > penalty3
+
+    def test_icc_level_at_least_as_fast(self):
+        module = sum_of_squares_module(64)
+        _, gcc = run_platform(module, CORE2, "O2")
+        _, icc = run_platform(module, CORE2, "ICC")
+        assert icc.cycles <= gcc.cycles * 1.1  # allow small noise
+
+    def test_powerpc_statistics(self):
+        module = sum_of_squares_module(9)
+        result, stats = run_powerpc(module)
+        assert result == run_module(module)[0]
+        assert stats.loads >= 9 and stats.stores >= 9
+        assert stats.register_reads > 0
+
+
+class TestModelMechanics:
+    def test_rob_limits_overlap(self):
+        module = sum_of_squares_module(64)
+        small = PENTIUM3.__class__(**{**PENTIUM3.__dict__, "rob_size": 4,
+                                      "name": "tiny"})
+        _, tiny = run_platform(module, small)
+        _, normal = run_platform(module, PENTIUM3)
+        assert tiny.cycles >= normal.cycles
+
+    def test_branch_stats_populated(self):
+        module = branchy_module([5, -5] * 12)
+        _, stats = run_platform(module, CORE2)
+        assert stats.branches > 20
+        assert stats.mpki >= 0

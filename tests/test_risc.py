@@ -1,0 +1,138 @@
+"""RISC substrate tests: ISA, codegen, register allocation, simulator."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ir import Builder, Type, run_module
+from repro.opt import optimize
+from repro.risc import (
+    RClass, Reg, RiscSimulator, ROp, lower_module, run_program,
+)
+from repro.risc.isa import CATEGORY, INT_ALLOCATABLE, RiscInst
+
+from tests.util import branchy_module, random_program, sum_of_squares_module
+
+
+class TestIsaDefinitions:
+    def test_every_opcode_categorized(self):
+        for op in ROp:
+            assert op in CATEGORY, f"{op} missing a category"
+
+    def test_register_str(self):
+        assert str(Reg(RClass.INT, 5)) == "r5"
+        assert str(Reg(RClass.FLT, 200)) == "vf200"
+
+    def test_store_sources_include_value(self):
+        inst = RiscInst(ROp.ST, rd=Reg(RClass.INT, 13),
+                        ra=Reg(RClass.INT, 14))
+        assert inst.dest() is None
+        assert len(inst.sources()) == 2
+
+
+class TestCodegenCorrectness:
+    def test_sum_of_squares(self):
+        module = sum_of_squares_module(20)
+        expected = run_module(module)[0]
+        assert run_program(lower_module(module))[0] == expected
+
+    def test_branchy(self):
+        module = branchy_module([3, -1, 4, -1, 5, -9, 2, 6])
+        expected = run_module(module)[0]
+        assert run_program(lower_module(module))[0] == expected
+
+    def test_calls_and_returns(self):
+        b = Builder()
+        p = b.function("mix", [Type.I64, Type.I64], Type.I64)
+        b.ret(b.add(b.mul(p[0], 3), p[1]))
+        b.function("main", return_type=Type.I64)
+        inner = b.call("mix", [5, 2], Type.I64)
+        outer = b.call("mix", [inner, 100], Type.I64)
+        b.ret(outer)
+        expected = run_module(b.module)[0]
+        assert run_program(lower_module(b.module))[0] == expected
+
+    def test_float_function(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        acc = b.mov(0.0)
+        with b.loop(0, 6) as i:
+            b.assign(acc, b.fadd(acc, b.fmul(b.i2f(i), 0.5)))
+        b.ret(b.f2i(b.fmul(acc, 4.0)))
+        expected = run_module(b.module)[0]
+        assert run_program(lower_module(b.module))[0] == expected
+
+    def test_spilling_many_live_values(self):
+        """More live values than allocatable registers forces spill code,
+        which must stay correct."""
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        live = [b.mov(k * 3 + 1) for k in range(len(INT_ALLOCATABLE) + 10)]
+        total = b.mov(0)
+        # Keep all values live until the end by consuming them afterwards.
+        with b.loop(0, 3):
+            b.assign(total, b.add(total, 1))
+        for v in live:
+            b.assign(total, b.add(total, v))
+        b.ret(total)
+        expected = run_module(b.module)[0]
+        program = lower_module(b.module)
+        result, sim = run_program(program)
+        assert result == expected
+        # Spills show up as frame stores.
+        assert program.function("main").frame_size > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_program())
+    def test_random_programs(self, module):
+        expected = run_module(module)[0]
+        assert run_program(lower_module(module))[0] == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_program())
+    def test_random_programs_optimized(self, module):
+        expected = run_module(module)[0]
+        optimized = optimize(module, "ICC")
+        assert run_program(lower_module(optimized))[0] == expected
+
+
+class TestStatistics:
+    def test_loads_stores_counted(self):
+        module = sum_of_squares_module(11)
+        _, sim = run_program(lower_module(module))
+        assert sim.stats.loads >= 11
+        assert sim.stats.stores >= 11
+
+    def test_register_accesses_positive(self):
+        _, sim = run_program(lower_module(sum_of_squares_module(5)))
+        assert sim.stats.register_reads > sim.stats.register_writes > 0
+
+    def test_dynamic_code_footprint(self):
+        _, sim = run_program(lower_module(sum_of_squares_module(5)))
+        program_bytes = sim.stats.dynamic_code_bytes()
+        assert 0 < program_bytes <= 4 * sim.total_static
+
+    def test_branch_counters(self):
+        module = branchy_module([1, -1] * 10)
+        _, sim = run_program(lower_module(module))
+        assert sim.stats.branches > 20
+        assert 0 < sim.stats.taken_branches <= sim.stats.branches
+
+
+class TestTrace:
+    def test_trace_stream_matches_execution(self):
+        module = sum_of_squares_module(6)
+        records = []
+        program = lower_module(module)
+        result, sim = run_program(program, trace=records.append)
+        assert len(records) == sim.stats.executed
+        loads = [r for r in records if r.category == "load"]
+        assert all(r.mem_address > 0 for r in loads)
+        branches = [r for r in records if r.branch]
+        assert branches, "a loop must produce branch records"
+
+    def test_fallthrough_branches_removed(self):
+        program = lower_module(sum_of_squares_module(4))
+        func = program.function("main")
+        for i, inst in enumerate(func.instructions):
+            if inst.op is ROp.B:
+                assert func.labels[inst.label] != i + 1

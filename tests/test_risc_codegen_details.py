@@ -1,0 +1,117 @@
+"""Instruction-selection details of the RISC backend."""
+
+import pytest
+
+from repro.ir import Builder, Type, run_module
+from repro.risc import ROp, lower_module, run_program
+
+
+def _ops_of(module, name="main"):
+    program = lower_module(module)
+    return [inst.op for inst in program.function(name).instructions]
+
+
+class TestInstructionSelection:
+    def test_add_constant_uses_immediate_form(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        x = b.mov(5)
+        b.ret(b.add(x, 100))
+        ops = _ops_of(b.module)
+        assert ROp.ADDI in ops
+        assert ROp.ADD not in ops
+
+    def test_sub_constant_becomes_addi(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        x = b.mov(5)
+        b.ret(b.sub(x, 3))
+        ops = _ops_of(b.module)
+        assert ROp.ADDI in ops and ROp.SUB not in ops
+        assert run_program(lower_module(b.module))[0] == 2
+
+    def test_huge_constant_falls_back_to_li(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        x = b.mov(5)
+        b.ret(b.add(x, 1 << 40))
+        ops = _ops_of(b.module)
+        assert ROp.ADD in ops     # register-register with LI for the imm
+        assert run_program(lower_module(b.module))[0] == 5 + (1 << 40)
+
+    def test_shift_immediates(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        x = b.mov(3)
+        b.ret(b.shl(x, 4))
+        ops = _ops_of(b.module)
+        assert ROp.SHLI in ops
+
+    def test_commuted_add(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        x = b.mov(9)
+        b.ret(b.add(7, x))    # constant on the left
+        assert ROp.ADDI in _ops_of(b.module)
+        assert run_program(lower_module(b.module))[0] == 16
+
+    def test_float_immediates_materialize(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        b.ret(b.f2i(b.fmul(2.0, 3.5)))
+        assert run_program(lower_module(b.module))[0] == 7
+
+    def test_narrow_unsigned_load(self):
+        b = Builder()
+        buf = b.global_array("buf", 2, 8)
+        b.function("main", return_type=Type.I64)
+        b.store(0xFF, buf, width=1)
+        b.ret(b.load(buf, width=1, signed=False))
+        assert run_program(lower_module(b.module))[0] == 255
+
+
+class TestCodeSizeModel:
+    def test_large_li_costs_extra_word(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        b.ret(b.mov(1 << 40))
+        big = lower_module(b.module).code_bytes()
+        b2 = Builder()
+        b2.function("main", return_type=Type.I64)
+        b2.ret(b2.mov(1))
+        small = lower_module(b2.module).code_bytes()
+        assert big == small + 4
+
+    def test_static_count_matches_instruction_list(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        b.ret(b.add(1, 2))
+        program = lower_module(b.module)
+        assert program.static_instruction_count() == \
+            len(program.function("main").instructions)
+
+
+class TestControlLowering:
+    def test_loop_branches_resolve(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        acc = b.mov(0)
+        with b.loop(0, 7) as i:
+            b.assign(acc, b.add(acc, i))
+        b.ret(acc)
+        program = lower_module(b.module)
+        func = program.function("main")
+        for inst in func.instructions:
+            if inst.op in (ROp.B, ROp.BNZ, ROp.BZ):
+                assert inst.label in func.labels
+        assert run_program(program)[0] == 21
+
+    def test_negative_step_loop(self):
+        b = Builder()
+        b.function("main", return_type=Type.I64)
+        acc = b.mov(0)
+        with b.loop(10, 0, -2) as i:
+            b.assign(acc, b.add(acc, i))
+        b.ret(acc)
+        expected = sum(range(10, 0, -2))
+        assert run_program(lower_module(b.module))[0] == expected

@@ -1,0 +1,93 @@
+"""Semantics of the functional simulator's ISA statistics — these feed
+Figures 3/4/5 directly, so their definitions are pinned here."""
+
+import pytest
+
+from repro.bench._util import init_i64
+from repro.ir import Builder, Type, run_module
+from repro.opt import optimize
+from repro.trips import lower_module, run_trips
+
+
+def _run(module, level="O2"):
+    lowered = lower_module(optimize(module, level))
+    result, sim = run_trips(lowered.program)
+    return result, sim.stats, lowered
+
+
+class TestAccounting:
+    def _module(self):
+        b = Builder()
+        data = b.global_array("d", 8, 8, init_i64([1, -2, 3, -4, 5, -6, 7, -8]))
+        b.function("main", return_type=Type.I64)
+        acc = b.mov(0)
+        with b.loop(0, 8) as i:
+            v = b.load(b.add(data, b.shl(i, 3)))
+            with b.if_then(b.gt(v, 0)):
+                b.assign(acc, b.add(acc, v))
+        b.ret(acc)
+        return b.module
+
+    def test_identity_fetched_equals_parts(self):
+        module = self._module()
+        _, stats, _ = _run(module)
+        # fetched = executed + fetched_not_executed, by definition.
+        assert stats.fetched == stats.executed + stats.fetched_not_executed
+        # executed = useful + moves + nulls + executed_not_used + tests
+        # + control ... useful already includes tests/control/memory, so:
+        assert stats.executed == (stats.useful + stats.moves_executed
+                                  + stats.executed_not_used
+                                  + stats.nulls_executed)
+
+    def test_composition_sums_to_fetched(self):
+        module = self._module()
+        _, stats, _ = _run(module)
+        assert sum(stats.composition.values()) == stats.fetched
+
+    def test_reads_and_writes_counted_per_activation(self):
+        module = self._module()
+        _, stats, lowered = _run(module)
+        assert stats.reads_fetched >= stats.blocks_committed  # >=1 read/block on avg here
+        assert stats.register_writes == stats.writes_committed
+
+    def test_memory_ops_match_program_semantics(self):
+        module = self._module()
+        _, interp = run_module(module)
+        _, stats, _ = _run(module, "O0")
+        # O0 performs exactly the IR's loads/stores (no forwarding).
+        assert stats.loads_executed == interp.stats.loads
+        assert stats.stores_committed == interp.stats.stores
+
+    def test_per_block_fetch_counts(self):
+        module = self._module()
+        _, stats, _ = _run(module)
+        assert sum(stats.per_block_fetch_count.values()) == \
+            stats.blocks_committed
+        assert stats.fetched_blocks == set(stats.per_block_fetch_count)
+
+    def test_predication_classes_nonzero_on_branchy_code(self):
+        module = self._module()
+        _, stats, _ = _run(module)
+        assert stats.fetched_not_executed > 0   # mispredicated arms
+        assert stats.nulls_executed >= 0
+
+
+class TestNullSemantics:
+    def test_predicated_store_commits_only_taken_path(self):
+        b = Builder()
+        data = b.global_array("d", 4, 8, init_i64([10, -10, 20, -20]))
+        out = b.global_array("o", 4, 8, init_i64([7, 7, 7, 7]))
+        b.function("main", return_type=Type.I64)
+        with b.loop(0, 4) as i:
+            v = b.load(b.add(data, b.shl(i, 3)))
+            with b.if_then(b.gt(v, 0)):
+                b.store(v, b.add(out, b.shl(i, 3)))
+        check = b.mov(0)
+        with b.loop(0, 4) as i:
+            b.assign(check, b.add(b.mul(check, 100),
+                                  b.load(b.add(out, b.shl(i, 3)))))
+        b.ret(check)
+        expected = run_module(b.module)[0]
+        result, stats, _ = _run(b.module)
+        assert result == expected         # 10,7,20,7 pattern preserved
+        assert stats.nulls_executed > 0   # the not-taken paths nulled
