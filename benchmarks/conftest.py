@@ -4,17 +4,32 @@ Each benchmark module regenerates one table/figure of the paper and
 records the rendered text table here; the terminal summary prints them all
 so a single ``pytest benchmarks/ --benchmark-only`` run emits the full
 reproduction report.
+
+The harness runs on :data:`repro.eval.SHARED_RUNNER`, whose pipeline
+persists simulation artifacts under ``.repro-cache/`` (disable with
+``REPRO_CACHE=0``) — a second benchmark session is warm and skips the
+simulations entirely.  The terminal summary ends with the pipeline
+profile: per-stage hit/miss counters and wall-clock time.
 """
 
 from __future__ import annotations
 
 from typing import List
 
+import pytest
+
 _TABLES: List[str] = []
 
 
 def record_table(table: str) -> None:
     _TABLES.append(table)
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The shared, disk-backed pipeline runner."""
+    from repro.eval.runner import SHARED_RUNNER
+    return SHARED_RUNNER
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -28,3 +43,17 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line("")
         for line in table.splitlines():
             terminalreporter.write_line(line)
+    try:
+        from repro.eval.report import format_table
+        from repro.eval.runner import SHARED_RUNNER
+    except ImportError:
+        return
+    telemetry = SHARED_RUNNER.pipeline.telemetry
+    if not telemetry.stages:
+        return
+    headers, rows = telemetry.profile()
+    terminalreporter.write_line("")
+    for line in format_table("Pipeline profile", headers, rows,
+                             "mem/disk hits vs computed misses per stage; "
+                             "seconds are wall-clock.").splitlines():
+        terminalreporter.write_line(line)

@@ -9,7 +9,17 @@ Subcommands:
 * ``asm BENCH`` — print the compiled TRIPS assembly (``--block`` to pick
   one block).
 * ``report EXPERIMENT`` — regenerate a paper table/figure by key
-  (``report --list`` shows the keys; ``report all`` runs everything).
+  (``report --list`` shows the keys; ``report all`` runs everything;
+  ``--jobs N`` fans the simulations out over N worker processes).
+
+Pipeline options (on ``run``, ``asm``, and ``report``):
+
+* ``--cache-dir PATH`` — artifact store location (default:
+  ``.repro-cache/`` at the repo root, or ``$REPRO_CACHE_DIR``).
+* ``--no-cache`` — disable the on-disk store for this invocation.
+* ``--trace FILE`` — append one JSON line per pipeline event (stage,
+  hit/miss, wall time) to FILE.
+* ``--profile`` — print a per-stage hit/miss/latency summary afterwards.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ import argparse
 import sys
 
 
-def _cmd_list(_args) -> int:
+def _cmd_list(_args, _runner) -> int:
     from repro.bench import all_benchmarks
     rows = sorted(all_benchmarks(), key=lambda b: (b.suite, b.name))
     current = None
@@ -32,10 +42,7 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    from repro.eval.runner import Runner
-
-    runner = Runner()
+def _cmd_run(args, runner) -> int:
     name = args.benchmark
     variant = args.variant
     system = args.system
@@ -87,11 +94,9 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_asm(args) -> int:
-    from repro.eval.runner import Runner
+def _cmd_asm(args, runner) -> int:
     from repro.isa import format_block, format_program
 
-    runner = Runner()
     lowered = runner.trips_lowered(args.benchmark, args.variant)
     if args.block:
         for block in lowered.program.all_blocks():
@@ -104,7 +109,7 @@ def _cmd_asm(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_report(args, runner) -> int:
     from repro.eval import experiment_names, run_experiment
 
     if args.list:
@@ -113,10 +118,39 @@ def _cmd_report(args) -> int:
         return 0
     keys = experiment_names() if args.experiment == "all" \
         else [args.experiment]
+
+    if args.jobs > 1:
+        if runner.pipeline.store is None:
+            print("--jobs requires the artifact cache "
+                  "(drop --no-cache / REPRO_CACHE=0)", file=sys.stderr)
+            return 2
+        from repro.pipeline.parallel import report_plan, warm_benchmarks
+        benchmarks, trace_names, bandwidth = report_plan(keys)
+        if benchmarks or bandwidth:
+            cache_root = runner.pipeline.store.root.parent
+            warm_benchmarks(
+                benchmarks, cache_root, jobs=args.jobs,
+                trace_names=trace_names, bandwidth=bandwidth,
+                telemetry=runner.pipeline.telemetry,
+                progress=lambda label: print(f"warmed {label}",
+                                             file=sys.stderr))
+
     for key in keys:
-        print(run_experiment(key))
+        print(run_experiment(key, runner=runner))
         print()
     return 0
+
+
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="artifact cache location "
+                             "(default: .repro-cache at the repo root)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent artifact cache")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="append JSONL pipeline events to FILE")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-stage pipeline profile")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -136,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["compiled", "hand"])
     run_p.add_argument("--icc", action="store_true",
                        help="use the icc-class optimizer on Intel models")
+    _add_pipeline_options(run_p)
 
     asm_p = sub.add_parser("asm", help="print compiled TRIPS assembly")
     asm_p.add_argument("benchmark")
@@ -143,20 +178,53 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["compiled", "hand"])
     asm_p.add_argument("--block", default="",
                        help="print only the named block")
+    _add_pipeline_options(asm_p)
 
     report_p = sub.add_parser("report",
                               help="regenerate a paper table/figure")
     report_p.add_argument("experiment", nargs="?", default="table1")
     report_p.add_argument("--list", action="store_true",
                           help="list experiment keys")
+    report_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="warm the artifact cache with N worker "
+                               "processes before rendering")
+    _add_pipeline_options(report_p)
     return parser
+
+
+def _make_runner(args):
+    """Build the command's Runner from the pipeline options."""
+    from repro.eval.runner import Runner
+    from repro.pipeline import (
+        Pipeline, TraceLog, cache_enabled, default_cache_dir,
+    )
+
+    if getattr(args, "no_cache", False) or not cache_enabled():
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or default_cache_dir()
+    trace = TraceLog(args.trace) if getattr(args, "trace", None) else None
+    return Runner(pipeline=Pipeline(cache_dir=cache_dir, trace=trace))
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run,
                "asm": _cmd_asm, "report": _cmd_report}[args.command]
-    return handler(args)
+    runner = _make_runner(args) if args.command != "list" else None
+    try:
+        return handler(args, runner)
+    finally:
+        if runner is not None:
+            if getattr(args, "profile", False):
+                from repro.eval.report import format_table
+                headers, rows = runner.pipeline.telemetry.profile()
+                print()
+                print(format_table("Pipeline profile", headers, rows,
+                                   "mem/disk hits vs computed misses per "
+                                   "stage; seconds are wall-clock."))
+            if runner.pipeline.trace is not None:
+                runner.pipeline.trace.close()
 
 
 if __name__ == "__main__":

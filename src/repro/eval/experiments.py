@@ -3,7 +3,9 @@
 Every driver returns a ``(headers, rows, note)`` triple and has a
 ``render_*`` companion producing the text table the bench harness prints.
 All drivers share :data:`repro.eval.runner.SHARED_RUNNER` so simulations
-are reused across figures within a session.
+are reused across figures within a session — and, through the runner's
+:class:`repro.pipeline.Pipeline`, across sessions via the on-disk
+artifact store.
 
 Benchmark sets follow the paper: "simple" = kernels + VersaBench + the
 eight named EEMBC programs (with compiled C and hand-optimized H
@@ -13,19 +15,17 @@ optimizes only the simple benchmarks).
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bench import by_suite, get as get_benchmark, simple_benchmarks
 from repro.eval.report import arithmean, format_table, geomean
 from repro.eval.runner import Runner, SHARED_RUNNER
-from repro.ir.builder import Builder
-from repro.ir.types import Type
-from repro.opt import optimize
+from repro.pipeline.parallel import BANDWIDTH_LEVELS
 from repro.refmodels import PLATFORMS, PUBLISHED_MATMUL_FPC
-from repro.trips import lower_module as lower_trips
 from repro.uarch import (
     AlphaTournamentPredictor, NextBlockPredictor, TripsConfig,
-    improved_predictor_config, run_cycles,
+    improved_predictor_config,
 )
 from repro.isa import static_code_size, dynamic_code_size
 
@@ -193,8 +193,6 @@ def fig5_storage_accesses(runner: Runner = SHARED_RUNNER,
 
 def sec44_code_size(runner: Runner = SHARED_RUNNER,
                     benchmarks: Sequence[str] = SIMPLE):
-    from repro.risc import lower_module as lower_risc
-
     headers = ["Benchmark", "raw/PPC", "compressed/PPC",
                "dyn raw/PPC", "dyn compressed/PPC"]
     rows = []
@@ -202,7 +200,7 @@ def sec44_code_size(runner: Runner = SHARED_RUNNER,
     for name in benchmarks:
         lowered = runner.trips_lowered(name, "compiled")
         stats = runner.trips_functional(name, "compiled")
-        risc_program = lower_risc(optimize(runner.module(name), "O2"))
+        risc_program = runner.pipeline.risc_lowered(name, "O2")
         ppc_static = risc_program.code_bytes()
         ppc_stats = runner.powerpc(name)
         ppc_dynamic = max(ppc_stats.dynamic_code_bytes(), 1)
@@ -334,64 +332,28 @@ def fig7_prediction(runner: Runner = SHARED_RUNNER,
 # Figure 8 — memory bandwidth and OPN profile.
 # ---------------------------------------------------------------------------
 
-def _streaming_module(doubles: int, stride: int = 1, lanes: int = 8):
-    """Bandwidth microbenchmark in the spirit of the paper's hand-tuned
-    vadd: ``lanes`` independent load/store streams per iteration so the
-    memory operations — not a serial accumulator — are the bottleneck."""
-    builder = Builder()
-    data = builder.global_array("stream", doubles, 8)
-    builder.function("main", return_type=Type.I64)
-    # Warm/initialize with `lanes` independent store streams.
-    span = doubles // lanes
-    with builder.loop(0, span, stride) as i:
-        offset = builder.shl(i, 3)
-        for lane in range(lanes):
-            address = builder.add(data + lane * span * 8, offset)
-            builder.store(lane, address)
-    totals = [builder.mov(0) for _ in range(lanes)]
-    with builder.loop(0, span, stride) as i:
-        offset = builder.shl(i, 3)
-        for lane in range(lanes):
-            address = builder.add(data + lane * span * 8, offset)
-            builder.assign(totals[lane],
-                           builder.add(totals[lane],
-                                       builder.load(address)))
-    result = builder.mov(0)
-    for lane_total in totals:
-        builder.assign(result, builder.add(result, lane_total))
-    builder.ret(result)
-    return builder.module
-
-
 def fig8_bandwidth(runner: Runner = SHARED_RUNNER):
     config = TripsConfig()
     mhz = config.clock_mhz
-    levels = [
-        ("L1-D to proc", 2 * 1024, 1),          # 16 KB footprint: L1 resident
-        ("L2 to L1", 24 * 1024, 8),             # 192 KB: L2 resident, line strides
-        ("Memory to L2", 160 * 1024, 8),        # 1.25 MB: spills to DRAM
-    ]
     headers = ["Interface", "accesses", "achieved GB/s", "peak GB/s",
                "% of peak"]
     rows = []
-    for label, doubles, stride in levels:
-        module = _streaming_module(doubles, stride)
-        lowered = lower_trips(optimize(module, "HAND"))
-        result, sim = run_cycles(lowered, memory_size=32 * 1024 * 1024)
-        cycles = max(sim.stats.cycles, 1)
+    for label, doubles, stride in BANDWIDTH_LEVELS:
+        art = runner.pipeline.bandwidth(label, doubles, stride)
+        cycles = max(art.cycles, 1)
         seconds = cycles / (mhz * 1e6)
         if label == "L1-D to proc":
-            bytes_moved = sim.stats.l1d_bytes
+            bytes_moved = art.l1d_bytes
             peak = 4 * 8 * mhz * 1e6 / 1e9          # 4 banks x 8B/cycle
         elif label == "L2 to L1":
-            bytes_moved = sim.hierarchy.l1d.stats.misses * config.l1d_line_bytes
+            bytes_moved = art.l1d_misses * config.l1d_line_bytes
             peak = 2 * config.l1d_line_bytes * mhz * 1e6 / 2 / 1e9
         else:
-            bytes_moved = sim.hierarchy.dram.accesses * config.l2_line_bytes
+            bytes_moved = art.dram_accesses * config.l2_line_bytes
             peak = 2 * config.l2_line_bytes * mhz * 1e6 \
                 / config.dram_occupancy_cycles / 1e9
         achieved = bytes_moved / seconds / 1e9
-        rows.append([label, sim.stats.loads + sim.stats.stores,
+        rows.append([label, art.accesses,
                      achieved, peak, 100.0 * achieved / peak])
     note = ("Streaming bandwidth (paper Figure 8 table: L1 96.5%, L2 "
             "98.5%, memory 57.8% of peak).")
@@ -630,8 +592,16 @@ def experiment_names() -> List[str]:
     return list(_EXPERIMENTS)
 
 
-def run_experiment(key: str, **kwargs) -> str:
-    """Run one experiment by key and return its rendered table."""
+def run_experiment(key: str, runner: Optional[Runner] = None,
+                   **kwargs) -> str:
+    """Run one experiment by key and return its rendered table.
+
+    ``runner`` overrides :data:`SHARED_RUNNER` for drivers that take one
+    (the static tables ignore it), letting the CLI thread a disk-backed,
+    instrumented pipeline through every figure.
+    """
     driver, title = _EXPERIMENTS[key]
+    if runner is not None and "runner" in inspect.signature(driver).parameters:
+        kwargs.setdefault("runner", runner)
     headers, rows, note = driver(**kwargs)
     return format_table(title, headers, rows, note)

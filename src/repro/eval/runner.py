@@ -3,163 +3,95 @@
 Every experiment needs some combination of: the IR interpreter result
 (golden checksum), TRIPS functional statistics, TRIPS cycle statistics,
 PowerPC (RISC) statistics, reference-platform cycle counts, ideal-machine
-IPC, and block traces for the predictor study.  A single :class:`Runner`
-memoizes all of them per (benchmark, configuration) so that regenerating
-several figures in one session never repeats a simulation.
+IPC, and block traces for the predictor study.  :class:`Runner` is the
+stable façade over :class:`repro.pipeline.Pipeline`, which memoizes each
+derivation stage by a content hash of its inputs — in memory always, and
+(when a cache directory is configured) in a persistent on-disk store so
+figure regeneration is warm across sessions and processes.
 
-Every simulated run is checked against the interpreter checksum; a
-mismatch raises immediately (a wrong simulator must never produce a
-figure).
+Every simulated run is checked against the interpreter checksum at
+compute time; a mismatch raises immediately (a wrong simulator must
+never produce a figure).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
-from repro.bench import get as get_benchmark
-from repro.ir import run_module
 from repro.ir.function import Module
-from repro.opt import optimize
-from repro.refmodels import PLATFORMS, run_platform, run_powerpc
-from repro.risc import RiscStats, lower_module as lower_risc, run_program
-from repro.trips import LoweredProgram, lower_module as lower_trips, run_trips
-from repro.trips.functional import BlockEvent, TripsStats
-from repro.uarch import (
-    CycleSimulator, CycleStats, IdealStats, TripsConfig, run_cycles, run_ideal,
+from repro.pipeline import (
+    ChecksumMismatch, CycleView, Pipeline, TraceSummary, VARIANT_LEVEL,
+    shared_pipeline,
 )
+from repro.risc import RiscStats
+from repro.trips import LoweredProgram
+from repro.trips.functional import TripsStats
+from repro.uarch import CycleStats, IdealStats, TripsConfig
 
-#: Optimization level per TRIPS variant (the paper's C and H bars).
-VARIANT_LEVEL = {"compiled": "O2", "hand": "HAND"}
-
-
-class ChecksumMismatch(Exception):
-    """A simulator produced a different result from the interpreter."""
-
-
-@dataclass
-class TraceSummary:
-    """Block-level control-flow trace for predictor studies."""
-
-    events: List[Tuple[str, int, str, str, str]]  # label, exit#, kind, target, cont
-    blocks: int
+__all__ = [
+    "ChecksumMismatch", "Runner", "SHARED_RUNNER", "TraceSummary",
+    "VARIANT_LEVEL",
+]
 
 
 class Runner:
-    """Memoizing façade over all simulators."""
+    """Memoizing façade over all simulators.
 
-    def __init__(self) -> None:
-        self._modules: Dict[str, Module] = {}
-        self._expected: Dict[str, object] = {}
-        self._trips_lowered: Dict[Tuple[str, str, str], LoweredProgram] = {}
-        self._trips_func: Dict[Tuple[str, str], TripsStats] = {}
-        self._trips_cycle: Dict[Tuple[str, str], Tuple[CycleStats, object]] = {}
-        self._risc: Dict[Tuple[str, str], RiscStats] = {}
-        self._platform: Dict[Tuple[str, str, str], object] = {}
-        self._ideal: Dict[Tuple[str, str, int, int], IdealStats] = {}
-        self._traces: Dict[Tuple[str, str], TraceSummary] = {}
+    ``Runner()`` is memory-only (each instance independent, exactly the
+    historical behaviour); ``Runner(cache_dir=...)`` persists the
+    simulation stages, and ``Runner(pipeline=...)`` wraps an existing
+    pipeline (sharing its artifact memory and telemetry).
+    """
+
+    def __init__(self, pipeline: Optional[Pipeline] = None,
+                 cache_dir=None) -> None:
+        self.pipeline = pipeline if pipeline is not None \
+            else Pipeline(cache_dir=cache_dir)
+        # Golden results live in a plain per-pipeline dict; tests reach in
+        # to sabotage a checksum and assert the guard fires.
+        self._expected = self.pipeline._expected
 
     # -- golden model -------------------------------------------------------
 
     def module(self, name: str) -> Module:
-        if name not in self._modules:
-            self._modules[name] = get_benchmark(name).module()
-        return self._modules[name]
+        return self.pipeline.module(name)
 
     def expected(self, name: str):
-        if name not in self._expected:
-            result, _ = run_module(self.module(name))
-            self._expected[name] = result
-        return self._expected[name]
-
-    def _check(self, name: str, result, system: str) -> None:
-        expected = self.expected(name)
-        if result != expected:
-            raise ChecksumMismatch(
-                f"{name} on {system}: got {result}, expected {expected}")
+        return self.pipeline.expected(name)
 
     # -- TRIPS --------------------------------------------------------------
 
     def trips_lowered(self, name: str, variant: str = "compiled",
                       formation: str = "hyper") -> LoweredProgram:
-        key = (name, variant, formation)
-        if key not in self._trips_lowered:
-            level = VARIANT_LEVEL[variant]
-            optimized = optimize(self.module(name), level)
-            self._trips_lowered[key] = lower_trips(optimized,
-                                                   formation=formation)
-        return self._trips_lowered[key]
+        return self.pipeline.trips_lowered(name, variant, formation)
 
     def trips_functional(self, name: str,
                          variant: str = "compiled") -> TripsStats:
-        key = (name, variant)
-        if key not in self._trips_func:
-            lowered = self.trips_lowered(name, variant)
-            result, sim = run_trips(lowered.program)
-            self._check(name, result, f"trips-functional/{variant}")
-            self._trips_func[key] = sim.stats
-        return self._trips_func[key]
+        return self.pipeline.trips_functional(name, variant)
 
     def trips_cycles(self, name: str, variant: str = "compiled",
                      config: Optional[TripsConfig] = None
-                     ) -> Tuple[CycleStats, CycleSimulator]:
-        key = (name, variant if config is None else f"{variant}+custom")
-        if config is not None:
-            lowered = self.trips_lowered(name, variant)
-            result, sim = run_cycles(lowered, config=config)
-            self._check(name, result, f"trips-cycles/{variant}")
-            return sim.stats, sim
-        if key not in self._trips_cycle:
-            lowered = self.trips_lowered(name, variant)
-            result, sim = run_cycles(lowered)
-            self._check(name, result, f"trips-cycles/{variant}")
-            self._trips_cycle[key] = (sim.stats, sim)
-        return self._trips_cycle[key]
+                     ) -> Tuple[CycleStats, CycleView]:
+        artifact = self.pipeline.trips_cycles(name, variant, config)
+        return artifact.stats, CycleView(artifact)
 
     def ideal(self, name: str, variant: str = "compiled",
               window: int = 1024, dispatch_cost: int = 8) -> IdealStats:
-        key = (name, variant, window, dispatch_cost)
-        if key not in self._ideal:
-            lowered = self.trips_lowered(name, variant)
-            result, sim = run_ideal(lowered.program, window=window,
-                                    dispatch_cost=dispatch_cost)
-            self._check(name, result, "trips-ideal")
-            self._ideal[key] = sim.stats
-        return self._ideal[key]
+        return self.pipeline.ideal(name, variant, window, dispatch_cost)
 
     def block_trace(self, name: str, formation: str = "hyper",
                     variant: str = "compiled") -> TraceSummary:
-        key = (name, formation)
-        if key not in self._traces:
-            lowered = self.trips_lowered(name, variant, formation)
-            raw: List[BlockEvent] = []
-            result, _sim = run_trips(lowered.program, trace=raw.append)
-            self._check(name, result, f"trips-trace/{formation}")
-            kind_of = {"bro": "br", "callo": "call", "ret": "ret"}
-            summary = [(e.label, e.exit_index, kind_of[e.exit_op.value],
-                        e.target, e.cont) for e in raw]
-            self._traces[key] = TraceSummary(summary, len(summary))
-        return self._traces[key]
+        return self.pipeline.block_trace(name, variant, formation)
 
-    # -- RISC / reference platforms -------------------------------------------
+    # -- RISC / reference platforms -----------------------------------------
 
     def powerpc(self, name: str, level: str = "O2") -> RiscStats:
-        key = (name, level)
-        if key not in self._risc:
-            result, stats = run_powerpc(self.module(name), level)
-            self._check(name, result, f"powerpc/{level}")
-            self._risc[key] = stats
-        return self._risc[key]
+        return self.pipeline.powerpc(name, level)
 
     def platform(self, name: str, platform: str, level: str = "O2"):
-        key = (name, platform, level)
-        if key not in self._platform:
-            spec = PLATFORMS[platform]
-            result, stats = run_platform(self.module(name), spec, level)
-            self._check(name, result, f"{platform}/{level}")
-            self._platform[key] = stats
-        return self._platform[key]
+        return self.pipeline.platform(name, platform, level)
 
 
 #: Session-wide shared runner (experiments and benchmarks reuse results).
-SHARED_RUNNER = Runner()
+#: Disk-backed at ``.repro-cache/`` unless ``REPRO_CACHE=0``.
+SHARED_RUNNER = Runner(pipeline=shared_pipeline())

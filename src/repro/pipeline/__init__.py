@@ -1,0 +1,44 @@
+"""Staged, content-addressed artifact pipeline for the evaluation harness.
+
+See :mod:`repro.pipeline.core` for the stage table, keying and cache
+semantics, :mod:`repro.pipeline.observe` for telemetry/tracing, and
+:mod:`repro.pipeline.parallel` for the process-pool warm fan-out used by
+``repro report all --jobs N``.
+"""
+
+from repro.pipeline.core import (
+    BandwidthArtifact, ChecksumMismatch, CycleArtifact, CycleView,
+    PERSISTED_STAGES, Pipeline, SIMULATION_STAGES, TraceSummary,
+    VARIANT_LEVEL, shared_pipeline,
+)
+from repro.pipeline.keys import (
+    artifact_digest, config_digest, source_digest, stable_digest,
+)
+from repro.pipeline.observe import StageCounters, Telemetry, TraceLog
+from repro.pipeline.store import (
+    SCHEMA_VERSION, ArtifactStore, cache_enabled, default_cache_dir,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "BandwidthArtifact",
+    "ChecksumMismatch",
+    "CycleArtifact",
+    "CycleView",
+    "PERSISTED_STAGES",
+    "Pipeline",
+    "SCHEMA_VERSION",
+    "SIMULATION_STAGES",
+    "StageCounters",
+    "Telemetry",
+    "TraceLog",
+    "TraceSummary",
+    "VARIANT_LEVEL",
+    "artifact_digest",
+    "cache_enabled",
+    "config_digest",
+    "default_cache_dir",
+    "shared_pipeline",
+    "source_digest",
+    "stable_digest",
+]

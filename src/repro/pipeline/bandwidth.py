@@ -1,0 +1,60 @@
+"""Streaming-bandwidth microbenchmark (the Figure 8 table's workload).
+
+Lives in the pipeline layer so the measurement is a cacheable stage:
+the module construction is deterministic in (doubles, stride, lanes), so
+the resulting :class:`~repro.pipeline.core.BandwidthArtifact` is safe to
+content-address and persist.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import Builder
+from repro.ir.types import Type
+from repro.opt import optimize
+from repro.trips import lower_module as lower_trips
+from repro.uarch import run_cycles
+
+
+def streaming_module(doubles: int, stride: int = 1, lanes: int = 8):
+    """Bandwidth microbenchmark in the spirit of the paper's hand-tuned
+    vadd: ``lanes`` independent load/store streams per iteration so the
+    memory operations — not a serial accumulator — are the bottleneck."""
+    builder = Builder()
+    data = builder.global_array("stream", doubles, 8)
+    builder.function("main", return_type=Type.I64)
+    # Warm/initialize with `lanes` independent store streams.
+    span = doubles // lanes
+    with builder.loop(0, span, stride) as i:
+        offset = builder.shl(i, 3)
+        for lane in range(lanes):
+            address = builder.add(data + lane * span * 8, offset)
+            builder.store(lane, address)
+    totals = [builder.mov(0) for _ in range(lanes)]
+    with builder.loop(0, span, stride) as i:
+        offset = builder.shl(i, 3)
+        for lane in range(lanes):
+            address = builder.add(data + lane * span * 8, offset)
+            builder.assign(totals[lane],
+                           builder.add(totals[lane],
+                                       builder.load(address)))
+    result = builder.mov(0)
+    for lane_total in totals:
+        builder.assign(result, builder.add(result, lane_total))
+    builder.ret(result)
+    return builder.module
+
+
+def measure_bandwidth(doubles: int, stride: int, lanes: int,
+                      memory_size: int):
+    """Hand-lower and cycle-simulate one streaming configuration."""
+    from repro.pipeline.core import BandwidthArtifact
+
+    module = streaming_module(doubles, stride, lanes)
+    lowered = lower_trips(optimize(module, "HAND"))
+    _result, sim = run_cycles(lowered, memory_size=memory_size)
+    return BandwidthArtifact(
+        accesses=sim.stats.loads + sim.stats.stores,
+        cycles=sim.stats.cycles,
+        l1d_bytes=sim.stats.l1d_bytes,
+        l1d_misses=sim.hierarchy.l1d.stats.misses,
+        dram_accesses=sim.hierarchy.dram.accesses)

@@ -1,0 +1,338 @@
+"""The staged artifact pipeline behind the evaluation harness.
+
+Every derivation step in the compile→lower→simulate chain is an
+addressable **stage**:
+
+========================  =======  ==========================================
+stage                     persist  produces
+========================  =======  ==========================================
+``module``                no       benchmark IR :class:`Module`
+``expected``              yes      golden interpreter result (checksum)
+``optimized-ir``          no       optimized :class:`Module` per level
+``risc-lowering``         no       RISC (PowerPC-class) program
+``trips-lowering``        no       TRIPS :class:`LoweredProgram`
+``trips-functional``      yes      :class:`TripsStats`
+``trips-cycles``          yes      :class:`CycleArtifact` (cycle + OPN + cache)
+``ideal``                 yes      :class:`IdealStats`
+``block-trace``           yes      :class:`TraceSummary`
+``powerpc``               yes      :class:`RiscStats`
+``platform``              yes      :class:`SuperscalarStats`
+``bandwidth``             yes      :class:`BandwidthArtifact` (Figure 8)
+========================  =======  ==========================================
+
+Artifacts are keyed by a content hash of their inputs (benchmark name,
+variant, formation, optimization level, and a stable digest of
+:class:`TripsConfig` / platform spec) plus the pipeline schema version
+and a digest of the ``repro`` sources — see :mod:`repro.pipeline.keys`.
+Persisted stages live under ``.repro-cache/`` (see
+:mod:`repro.pipeline.store`) so figure regeneration is warm across
+sessions and processes; compiler-object stages stay memory-only because
+they are cheap to rebuild and expensive to serialise.
+
+Every *computed* simulation is still validated against the interpreter
+checksum before it is cached (a wrong simulator must never produce a
+figure); warm artifacts were validated when first computed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bench import get as get_benchmark
+from repro.ir import run_module
+from repro.ir.function import Module
+from repro.opt import optimize
+from repro.refmodels import PLATFORMS, SuperscalarModel, SuperscalarStats
+from repro.risc import (
+    RiscProgram, RiscSimulator, RiscStats, lower_module as lower_risc,
+)
+from repro.trips import LoweredProgram, lower_module as lower_trips, run_trips
+from repro.trips.functional import BlockEvent, TripsStats
+from repro.uarch import (
+    CacheStats, CycleStats, IdealStats, OpnStats, TripsConfig, run_cycles,
+    run_ideal,
+)
+
+from repro.pipeline.keys import artifact_digest, config_digest
+from repro.pipeline.observe import (
+    COMPUTE, DISK_HIT, MEMORY_HIT, STORE, Telemetry, TraceLog,
+)
+from repro.pipeline.store import (
+    SCHEMA_VERSION, ArtifactStore, cache_enabled, default_cache_dir,
+)
+
+#: Optimization level per TRIPS variant (the paper's C and H bars).
+VARIANT_LEVEL = {"compiled": "O2", "hand": "HAND"}
+
+#: Stages whose artifacts persist to disk.
+PERSISTED_STAGES = ("expected", "trips-functional", "trips-cycles", "ideal",
+                    "block-trace", "powerpc", "platform", "bandwidth")
+
+#: Stages whose compute step invokes a simulator (used by tests asserting
+#: that a warm cache performs zero simulator invocations).
+SIMULATION_STAGES = ("expected", "trips-functional", "trips-cycles", "ideal",
+                     "block-trace", "powerpc", "platform", "bandwidth")
+
+
+class ChecksumMismatch(Exception):
+    """A simulator produced a different result from the interpreter."""
+
+
+@dataclass
+class TraceSummary:
+    """Block-level control-flow trace for predictor studies."""
+
+    events: List[Tuple[str, int, str, str, str]]  # label, exit#, kind, target, cont
+    blocks: int
+
+
+@dataclass
+class CycleArtifact:
+    """Everything the figure drivers read off one cycle-level run."""
+
+    stats: CycleStats
+    opn_stats: OpnStats
+    l1d: CacheStats
+    l1i: CacheStats
+    l2: CacheStats
+    dram_accesses: int
+
+
+@dataclass
+class BandwidthArtifact:
+    """One streaming-bandwidth measurement (Figure 8 table)."""
+
+    accesses: int
+    cycles: int
+    l1d_bytes: int
+    l1d_misses: int
+    dram_accesses: int
+
+
+class CycleView:
+    """Simulator-shaped read-only view over a :class:`CycleArtifact`.
+
+    Exposes the attribute paths the drivers and CLI read from a live
+    :class:`~repro.uarch.core.CycleSimulator` (``.stats``, ``.opn.stats``,
+    ``.hierarchy.l1d.stats``, ``.hierarchy.dram.accesses``) so cached
+    cycle results are drop-in replacements for a fresh simulation.
+    """
+
+    def __init__(self, artifact: CycleArtifact) -> None:
+        self.stats = artifact.stats
+        self.opn = SimpleNamespace(stats=artifact.opn_stats)
+        self.hierarchy = SimpleNamespace(
+            l1d=SimpleNamespace(stats=artifact.l1d),
+            l1i=SimpleNamespace(stats=artifact.l1i),
+            l2=SimpleNamespace(stats=artifact.l2),
+            dram=SimpleNamespace(accesses=artifact.dram_accesses))
+
+
+class Pipeline:
+    """Content-addressed, optionally disk-backed artifact pipeline.
+
+    ``cache_dir=None`` gives a memory-only pipeline (the historical
+    :class:`Runner` behaviour); pass a path to persist the heavyweight
+    stages across processes.  ``telemetry`` and ``trace`` hook in the
+    observability layer (see :mod:`repro.pipeline.observe`).
+    """
+
+    def __init__(self, cache_dir=None, telemetry: Optional[Telemetry] = None,
+                 trace: Optional[TraceLog] = None) -> None:
+        self.store = ArtifactStore(cache_dir) if cache_dir else None
+        self.telemetry = telemetry or Telemetry()
+        self.trace = trace
+        self._memory: Dict[Tuple[str, str], Any] = {}
+        #: Golden interpreter results by benchmark name.  A plain dict so
+        #: tests can sabotage a checksum and assert the guard fires.
+        self._expected: Dict[str, Any] = {}
+
+    # -- generic stage resolution ------------------------------------------
+
+    def _emit(self, stage: str, event: str, seconds: float, digest: str,
+              key: Any) -> None:
+        self.telemetry.record(stage, event, seconds)
+        if self.trace is not None:
+            self.trace.emit(stage, event, seconds, digest, key)
+
+    def _materialize(self, stage: str, key: Any, compute: Callable[[], Any],
+                     persist: bool = False) -> Any:
+        digest = artifact_digest(SCHEMA_VERSION, stage, key)
+        memory_key = (stage, digest)
+        if memory_key in self._memory:
+            self._emit(stage, MEMORY_HIT, 0.0, digest, key)
+            return self._memory[memory_key]
+        if persist and self.store is not None:
+            start = time.perf_counter()
+            found, value = self.store.load(stage, digest)
+            if found:
+                self._emit(stage, DISK_HIT, time.perf_counter() - start,
+                           digest, key)
+                self._memory[memory_key] = value
+                return value
+        start = time.perf_counter()
+        value = compute()
+        self._emit(stage, COMPUTE, time.perf_counter() - start, digest, key)
+        self._memory[memory_key] = value
+        if persist and self.store is not None:
+            start = time.perf_counter()
+            self.store.store(stage, digest, value)
+            self._emit(stage, STORE, time.perf_counter() - start, digest, key)
+        return value
+
+    # -- golden model -------------------------------------------------------
+
+    def module(self, name: str) -> Module:
+        return self._materialize(
+            "module", (name,),
+            lambda: get_benchmark(name).module())
+
+    def expected(self, name: str) -> Any:
+        if name in self._expected:
+            self.telemetry.record("expected", MEMORY_HIT)
+            return self._expected[name]
+
+        def compute():
+            result, _ = run_module(self.module(name))
+            return result
+
+        value = self._materialize("expected", (name,), compute, persist=True)
+        self._expected[name] = value
+        return value
+
+    def check(self, name: str, result: Any, system: str) -> None:
+        expected = self.expected(name)
+        if result != expected:
+            raise ChecksumMismatch(
+                f"{name} on {system}: got {result}, expected {expected}")
+
+    # -- compiler stages (memory-only) --------------------------------------
+
+    def optimized(self, name: str, level: str) -> Module:
+        return self._materialize(
+            "optimized-ir", (name, level),
+            lambda: optimize(self.module(name), level))
+
+    def risc_lowered(self, name: str, level: str = "O2") -> RiscProgram:
+        return self._materialize(
+            "risc-lowering", (name, level),
+            lambda: lower_risc(self.optimized(name, level)))
+
+    def trips_lowered(self, name: str, variant: str = "compiled",
+                      formation: str = "hyper") -> LoweredProgram:
+        level = VARIANT_LEVEL[variant]
+        return self._materialize(
+            "trips-lowering", (name, variant, formation),
+            lambda: lower_trips(self.optimized(name, level),
+                                formation=formation))
+
+    # -- TRIPS simulation stages --------------------------------------------
+
+    def trips_functional(self, name: str,
+                         variant: str = "compiled") -> TripsStats:
+        def compute():
+            lowered = self.trips_lowered(name, variant)
+            result, sim = run_trips(lowered.program)
+            self.check(name, result, f"trips-functional/{variant}")
+            return sim.stats
+
+        return self._materialize("trips-functional", (name, variant),
+                                 compute, persist=True)
+
+    def trips_cycles(self, name: str, variant: str = "compiled",
+                     config: Optional[TripsConfig] = None) -> CycleArtifact:
+        def compute():
+            lowered = self.trips_lowered(name, variant)
+            result, sim = run_cycles(lowered, config=config)
+            self.check(name, result, f"trips-cycles/{variant}")
+            l2 = CacheStats()
+            for bank in sim.hierarchy.l2.banks:
+                l2.accesses += bank.stats.accesses
+                l2.misses += bank.stats.misses
+            return CycleArtifact(
+                stats=sim.stats,
+                opn_stats=sim.opn.stats,
+                l1d=sim.hierarchy.l1d.stats,
+                l1i=sim.hierarchy.l1i.stats,
+                l2=l2,
+                dram_accesses=sim.hierarchy.dram.accesses)
+
+        key = (name, variant, config_digest(config))
+        return self._materialize("trips-cycles", key, compute, persist=True)
+
+    def ideal(self, name: str, variant: str = "compiled",
+              window: int = 1024, dispatch_cost: int = 8) -> IdealStats:
+        def compute():
+            lowered = self.trips_lowered(name, variant)
+            result, sim = run_ideal(lowered.program, window=window,
+                                    dispatch_cost=dispatch_cost)
+            self.check(name, result, "trips-ideal")
+            return sim.stats
+
+        return self._materialize(
+            "ideal", (name, variant, window, dispatch_cost),
+            compute, persist=True)
+
+    def block_trace(self, name: str, variant: str = "compiled",
+                    formation: str = "hyper") -> TraceSummary:
+        def compute():
+            lowered = self.trips_lowered(name, variant, formation)
+            raw: List[BlockEvent] = []
+            result, _sim = run_trips(lowered.program, trace=raw.append)
+            self.check(name, result, f"trips-trace/{formation}")
+            kind_of = {"bro": "br", "callo": "call", "ret": "ret"}
+            summary = [(e.label, e.exit_index, kind_of[e.exit_op.value],
+                        e.target, e.cont) for e in raw]
+            return TraceSummary(summary, len(summary))
+
+        return self._materialize("block-trace", (name, variant, formation),
+                                 compute, persist=True)
+
+    # -- RISC / reference platform stages -----------------------------------
+
+    def powerpc(self, name: str, level: str = "O2") -> RiscStats:
+        def compute():
+            program = self.risc_lowered(name, level)
+            simulator = RiscSimulator(program)
+            result = simulator.run("main")
+            self.check(name, result, f"powerpc/{level}")
+            return simulator.stats
+
+        return self._materialize("powerpc", (name, level), compute,
+                                 persist=True)
+
+    def platform(self, name: str, platform: str,
+                 level: str = "O2") -> SuperscalarStats:
+        def compute():
+            spec = PLATFORMS[platform]
+            program = self.risc_lowered(name, level)
+            model = SuperscalarModel(spec)
+            simulator = RiscSimulator(program)
+            result = simulator.run("main", None, trace=model.feed)
+            self.check(name, result, f"{platform}/{level}")
+            return model.finish()
+
+        key = (name, platform, level)
+        return self._materialize("platform", key, compute, persist=True)
+
+    # -- microbenchmark stages ----------------------------------------------
+
+    def bandwidth(self, label: str, doubles: int, stride: int,
+                  lanes: int = 8,
+                  memory_size: int = 32 * 1024 * 1024) -> BandwidthArtifact:
+        def compute():
+            from repro.pipeline.bandwidth import measure_bandwidth
+            return measure_bandwidth(doubles, stride, lanes, memory_size)
+
+        key = (label, doubles, stride, lanes, memory_size,
+               config_digest(None))
+        return self._materialize("bandwidth", key, compute, persist=True)
+
+
+def shared_pipeline() -> Pipeline:
+    """The session-wide pipeline: disk-backed unless ``REPRO_CACHE=0``."""
+    cache_dir = default_cache_dir() if cache_enabled() else None
+    return Pipeline(cache_dir=cache_dir)

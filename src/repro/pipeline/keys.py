@@ -1,0 +1,90 @@
+"""Content-addressed keying for pipeline artifacts.
+
+Every artifact is addressed by a SHA-256 digest over a canonical JSON
+rendering of (schema version, source digest, stage name, stage inputs).
+Two ingredients make the keys safe across sessions:
+
+* **Source digest** — a hash over every ``.py`` file in the ``repro``
+  package.  Any change to the compiler, simulators, or benchmarks
+  invalidates every cached artifact, so a stale cache can never produce
+  a figure that disagrees with the current code.
+* **Canonicalisation** — dataclasses (e.g. :class:`TripsConfig`,
+  :class:`PlatformSpec`) are flattened to sorted field dictionaries so
+  logically-equal configurations always digest identically, regardless
+  of construction order or identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Optional
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to JSON-serialisable primitives, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: canonicalize(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__dataclass__": type(value).__name__, **fields}
+    if isinstance(value, dict):
+        return {"__dict__": sorted(
+            (json.dumps(canonicalize(k), sort_keys=True), canonicalize(v))
+            for k, v in value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(
+            json.dumps(canonicalize(v), sort_keys=True) for v in value)}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    return {"__repr__": repr(value)}
+
+
+def stable_digest(value: Any) -> str:
+    """Hex SHA-256 of the canonical JSON rendering of ``value``."""
+    payload = json.dumps(canonicalize(value), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_digest(config: Optional[Any]) -> str:
+    """Short digest of a configuration dataclass (``None`` = defaults).
+
+    Used to memoize cycle-level runs under custom :class:`TripsConfig`
+    instances: equal configurations share one cache slot even when the
+    caller builds a fresh object each time.
+    """
+    if config is None:
+        return "default"
+    return stable_digest(config)[:16]
+
+
+@lru_cache(maxsize=1)
+def source_digest() -> str:
+    """Digest of every ``.py`` source file in the ``repro`` package."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    hasher = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        hasher.update(str(path.relative_to(root)).encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+def artifact_digest(schema_version: int, stage: str, key_parts: Any) -> str:
+    """The on-disk address of one artifact."""
+    return stable_digest({
+        "schema": schema_version,
+        "source": source_digest(),
+        "stage": stage,
+        "key": canonicalize(key_parts),
+    })

@@ -1,0 +1,150 @@
+"""Per-stage observability: counters, wall-clock timers, and an optional
+JSONL structured event log.
+
+The :class:`Telemetry` object is the single aggregation point; every
+stage resolution (memory hit, disk hit, or compute) records one event
+with its wall time.  ``profile()`` renders the counters as a
+``(headers, rows)`` pair so the CLI and the benchmark harness can print
+a pipeline profile with the shared table formatter without this module
+depending on :mod:`repro.eval`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+#: Event kinds recorded per stage.
+MEMORY_HIT = "memory-hit"
+DISK_HIT = "disk-hit"
+COMPUTE = "compute"
+STORE = "store"
+
+
+@dataclass
+class StageCounters:
+    """Aggregate hit/miss/timing counters for one pipeline stage."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    computes: int = 0
+    stores: int = 0
+    compute_seconds: float = 0.0
+    load_seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.memory_hits + self.disk_hits + self.computes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return (self.memory_hits + self.disk_hits) / total if total else 0.0
+
+    def record(self, event: str, seconds: float) -> None:
+        if event == MEMORY_HIT:
+            self.memory_hits += 1
+        elif event == DISK_HIT:
+            self.disk_hits += 1
+            self.load_seconds += seconds
+        elif event == COMPUTE:
+            self.computes += 1
+            self.compute_seconds += seconds
+        elif event == STORE:
+            self.stores += 1
+
+    def merge(self, other: "StageCounters") -> None:
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.computes += other.computes
+        self.stores += other.stores
+        self.compute_seconds += other.compute_seconds
+        self.load_seconds += other.load_seconds
+
+
+class TraceLog:
+    """Structured JSONL event writer (the CLI's ``--trace FILE``).
+
+    One JSON object per line: timestamp, stage, event kind, wall-clock
+    milliseconds, the artifact digest, and the human-readable key.
+    """
+
+    def __init__(self, destination) -> None:
+        self._owned = False
+        if isinstance(destination, (str, Path)):
+            self._fh: TextIO = open(destination, "a", encoding="utf-8")
+            self._owned = True
+        else:
+            self._fh = destination
+
+    def emit(self, stage: str, event: str, seconds: float,
+             digest: str = "", key: object = None) -> None:
+        record = {
+            "ts": round(time.time(), 6),
+            "stage": stage,
+            "event": event,
+            "ms": round(seconds * 1000.0, 3),
+            "digest": digest[:16],
+            "key": key,
+        }
+        self._fh.write(json.dumps(record, default=repr) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._owned:
+            self._fh.close()
+
+
+class Telemetry:
+    """Per-stage counters for one pipeline (mergeable across processes)."""
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageCounters] = {}
+
+    def record(self, stage: str, event: str, seconds: float = 0.0) -> None:
+        self.stages.setdefault(stage, StageCounters()).record(event, seconds)
+
+    def counters(self, stage: str) -> StageCounters:
+        return self.stages.setdefault(stage, StageCounters())
+
+    def computes(self, stages: Optional[Sequence[str]] = None) -> int:
+        """Total cache-miss computations (optionally for a stage subset)."""
+        return sum(c.computes for name, c in self.stages.items()
+                   if stages is None or name in stages)
+
+    def merge(self, other: "Telemetry") -> None:
+        for name, counters in other.stages.items():
+            self.counters(name).merge(counters)
+
+    # -- export/import for cross-process aggregation ----------------------
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {name: vars(c).copy() for name, c in self.stages.items()}
+
+    def merge_dict(self, data: Dict[str, Dict[str, float]]) -> None:
+        for name, fields in data.items():
+            self.counters(name).merge(StageCounters(**fields))
+
+    # -- rendering --------------------------------------------------------
+
+    def profile(self) -> Tuple[List[str], List[List[object]]]:
+        """``(headers, rows)`` for the ``--profile`` summary table."""
+        headers = ["Stage", "req", "mem hit", "disk hit", "miss",
+                   "hit%", "compute s", "load s"]
+        rows: List[List[object]] = []
+        for name in sorted(self.stages):
+            c = self.stages[name]
+            rows.append([name, c.requests, c.memory_hits, c.disk_hits,
+                         c.computes, 100.0 * c.hit_rate,
+                         c.compute_seconds, c.load_seconds])
+        total = StageCounters()
+        for c in self.stages.values():
+            total.merge(c)
+        rows.append(["TOTAL", total.requests, total.memory_hits,
+                     total.disk_hits, total.computes,
+                     100.0 * total.hit_rate, total.compute_seconds,
+                     total.load_seconds])
+        return headers, rows

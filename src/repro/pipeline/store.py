@@ -1,0 +1,108 @@
+"""Persistent content-addressed artifact store.
+
+Layout::
+
+    <cache root>/v<SCHEMA_VERSION>/<stage>/<digest[:2]>/<digest>.pkl
+
+Each file is a pickle of ``{"digest": ..., "stage": ..., "value": ...}``.
+Writes go through a temporary file in the same directory followed by an
+atomic :func:`os.replace`, so concurrent warm workers never expose a
+partially written artifact.  Corrupt or unreadable entries are treated
+as misses (and removed) rather than raised.
+
+Invalidation is entirely key-side (see :mod:`repro.pipeline.keys`): the
+schema version below participates in every digest, so bumping it
+abandons old artifacts wholesale, and the source digest folds the whole
+``repro`` package into every key.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+#: Bump on any change to artifact shapes or stage semantics.
+SCHEMA_VERSION = 1
+
+#: Sentinel distinguishing "miss" from a cached ``None`` value.
+_MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``.repro-cache/`` at the repo root
+    (falling back to the current directory for installed copies)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    import repro
+
+    package = Path(repro.__file__).resolve().parent
+    if package.parent.name == "src":
+        return package.parent.parent / ".repro-cache"
+    return Path.cwd() / ".repro-cache"
+
+
+def cache_enabled() -> bool:
+    """Disk caching kill-switch: ``REPRO_CACHE=0`` disables it."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in (
+        "0", "no", "off", "false")
+
+
+class ArtifactStore:
+    """On-disk pickle store addressed by stage name + content digest."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root) / f"v{SCHEMA_VERSION}"
+
+    def path_for(self, stage: str, digest: str) -> Path:
+        return self.root / stage / digest[:2] / f"{digest}.pkl"
+
+    def load(self, stage: str, digest: str) -> Tuple[bool, Any]:
+        """``(found, value)``; corrupt entries count as misses."""
+        path = self.path_for(stage, digest)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("digest") != digest:
+                raise ValueError("digest mismatch")
+            return True, payload["value"]
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+
+    def store(self, stage: str, digest: str, value: Any) -> None:
+        path = self.path_for(stage, digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"digest": digest, "stage": stage, "value": value}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Remove every artifact under this schema; returns files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in sorted(self.root.rglob("*.pkl")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,114 @@
+"""CLI coverage: ``python -m repro`` across every subcommand and every
+``--system`` choice, in-process via ``main()`` plus subprocess smoke.
+
+All commands share one on-disk cache directory so the compile→simulate
+work is done once and later parametrizations are warm.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+SYSTEMS = ["interp", "risc", "trips", "cycles", "ideal", "core2", "p4", "p3"]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("cli-cache"))
+
+
+class TestRun:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_all_systems(self, system, cache_dir, capsys):
+        assert main(["run", "crc", "--system", system,
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "golden checksum" in out
+
+    def test_hand_variant(self, cache_dir, capsys):
+        assert main(["run", "vadd", "--system", "trips",
+                     "--variant", "hand", "--cache-dir", cache_dir]) == 0
+        assert "blocks" in capsys.readouterr().out
+
+    def test_icc_level(self, cache_dir, capsys):
+        assert main(["run", "crc", "--system", "core2", "--icc",
+                     "--cache-dir", cache_dir]) == 0
+        assert "(ICC)" in capsys.readouterr().out
+
+    def test_bad_system_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "crc", "--system", "not-a-system"])
+
+    def test_profile_and_trace(self, cache_dir, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        assert main(["run", "crc", "--system", "cycles",
+                     "--cache-dir", cache_dir,
+                     "--trace", str(trace), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline profile" in out
+        events = [json.loads(line) for line in
+                  trace.read_text().splitlines()]
+        assert events
+        assert {"stage", "event", "ms"} <= set(events[0])
+        # Everything was cached by the earlier cycles run.
+        assert all(e["event"] != "compute" for e in events
+                   if e["stage"] == "trips-cycles")
+
+
+class TestListAndAsm:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "kernels" in out and "spec_int" in out
+
+    def test_asm_whole_program(self, cache_dir, capsys):
+        assert main(["asm", "crc", "--cache-dir", cache_dir]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_asm_unknown_block(self, cache_dir, capsys):
+        assert main(["asm", "crc", "--block", "nope",
+                     "--cache-dir", cache_dir]) == 2
+
+
+class TestReport:
+    def test_report_list_names_all_experiments(self, capsys):
+        from repro.eval import experiment_names
+        assert main(["report", "--list"]) == 0
+        keys = capsys.readouterr().out.split()
+        assert keys == experiment_names()
+
+    def test_report_static_tables(self, cache_dir, capsys):
+        assert main(["report", "table2", "--cache-dir", cache_dir]) == 0
+        assert "Benchmark suites" in capsys.readouterr().out
+
+    def test_report_jobs_requires_cache(self, capsys):
+        assert main(["report", "table1", "--jobs", "2", "--no-cache"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestSubprocessSmoke:
+    def _run(self, *argv):
+        env = os.environ.copy()
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, timeout=600, env=env)
+
+    def test_report_table1(self):
+        result = self._run("report", "table1", "--no-cache")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "TRIPS" in result.stdout
+
+    def test_run_interp(self):
+        result = self._run("run", "crc", "--system", "interp", "--no-cache")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "golden checksum" in result.stdout
