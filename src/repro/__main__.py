@@ -10,7 +10,13 @@ Subcommands:
   one block).
 * ``report EXPERIMENT`` — regenerate a paper table/figure by key
   (``report --list`` shows the keys; ``report all`` runs everything;
-  ``--jobs N`` fans the simulations out over N worker processes).
+  ``--jobs N`` fans the simulations out over N worker processes;
+  ``--heatmaps`` appends trace-derived OPN heatmaps for the kernels).
+* ``trace BENCH`` — run the cycle-level simulator with
+  microarchitectural event tracing and render the derived views (OPN
+  link-utilization heatmap, window-occupancy timeline, per-tile issue
+  histogram); ``--out FILE`` writes the compact event stream
+  (``docs/TRACE.md`` documents the schema and format).
 
 Pipeline options (on ``run``, ``asm``, and ``report``):
 
@@ -69,7 +75,11 @@ def _cmd_run(args, runner) -> int:
               f"moves {stats.moves_executed}, mispredicated "
               f"{stats.fetched_not_executed}")
     elif system == "cycles":
-        stats, sim = runner.trips_cycles(name, variant)
+        if args.uarch_trace:
+            stats, sim = _traced_cycles(runner, name, variant,
+                                        args.uarch_trace)
+        else:
+            stats, sim = runner.trips_cycles(name, variant)
         print(f"{stats.cycles} cycles, IPC {stats.ipc:.2f} "
               f"(useful {stats.useful_ipc:.2f}); "
               f"{stats.avg_instructions_in_window:.0f} instructions in "
@@ -91,6 +101,58 @@ def _cmd_run(args, runner) -> int:
     else:
         print(f"unknown system {system!r}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _traced_cycles(runner, name: str, variant: str, out_path: str):
+    """Live cycle-level run with tracing; writes the compact stream.
+
+    Bypasses the ``trips-cycles`` artifact cache (the raw event stream
+    is not cached) but still reuses the lowering stages and validates
+    the result against the interpreter checksum.
+    """
+    import sys as _sys
+
+    from repro.trace import CollectingTracer, write_compact
+    from repro.uarch import run_cycles
+
+    lowered = runner.trips_lowered(name, variant)
+    tracer = CollectingTracer()
+    result, sim = run_cycles(lowered, tracer=tracer)
+    runner.pipeline.check(name, result, f"uarch-trace/{variant}")
+    count = write_compact(tracer.events, out_path)
+    print(f"wrote {count} events to {out_path}", file=_sys.stderr)
+    return sim.stats, sim
+
+
+def _cmd_trace(args, runner) -> int:
+    from repro.trace import (
+        CollectingTracer, render_event_counts, render_occupancy_timeline,
+        render_opn_heatmap, render_tile_histogram, summarize, write_compact,
+    )
+    from repro.uarch import run_cycles
+
+    name = args.benchmark
+    lowered = runner.trips_lowered(name, args.variant)
+    tracer = CollectingTracer()
+    result, sim = run_cycles(lowered, tracer=tracer)
+    runner.pipeline.check(name, result, f"trace/{args.system}")
+
+    stats = sim.stats
+    print(f"{name} ({args.system}, {args.variant}): {stats.cycles} cycles, "
+          f"IPC {stats.ipc:.2f}, {len(tracer.events)} events")
+    metrics = summarize(tracer.events, stats.cycles, buckets=args.buckets)
+    print()
+    print(render_event_counts(metrics))
+    print()
+    print(render_opn_heatmap(metrics))
+    print()
+    print(render_occupancy_timeline(metrics))
+    print()
+    print(render_tile_histogram(metrics))
+    if args.out:
+        count = write_compact(tracer.events, args.out)
+        print(f"\nwrote {count} events to {args.out}")
     return 0
 
 
@@ -138,6 +200,17 @@ def _cmd_report(args, runner) -> int:
     for key in keys:
         print(run_experiment(key, runner=runner))
         print()
+
+    if args.heatmaps:
+        from repro.bench import by_suite
+        from repro.trace import render_occupancy_timeline, render_opn_heatmap
+
+        for bench in sorted(by_suite("kernels"), key=lambda b: b.name):
+            metrics = runner.trace_summary(bench.name, "compiled")
+            print(f"=== {bench.name} (compiled) ===")
+            print(render_opn_heatmap(metrics))
+            print(render_occupancy_timeline(metrics))
+            print()
     return 0
 
 
@@ -170,7 +243,25 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["compiled", "hand"])
     run_p.add_argument("--icc", action="store_true",
                        help="use the icc-class optimizer on Intel models")
+    run_p.add_argument("--uarch-trace", default=None, metavar="FILE",
+                       help="with --system cycles: run live with event "
+                            "tracing and write the compact stream to FILE "
+                            "(see docs/TRACE.md)")
     _add_pipeline_options(run_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="per-cycle microarchitectural event trace")
+    trace_p.add_argument("benchmark")
+    trace_p.add_argument("--system", default="cycles", choices=["cycles"],
+                         help="simulator to trace (cycle-level only)")
+    trace_p.add_argument("--variant", default="compiled",
+                         choices=["compiled", "hand"])
+    trace_p.add_argument("--out", default=None, metavar="FILE",
+                         help="write the compact delta-encoded event "
+                              "stream to FILE")
+    trace_p.add_argument("--buckets", type=int, default=48, metavar="N",
+                         help="window-occupancy timeline resolution")
+    _add_pipeline_options(trace_p)
 
     asm_p = sub.add_parser("asm", help="print compiled TRIPS assembly")
     asm_p.add_argument("benchmark")
@@ -188,6 +279,9 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--jobs", type=int, default=1, metavar="N",
                           help="warm the artifact cache with N worker "
                                "processes before rendering")
+    report_p.add_argument("--heatmaps", action="store_true",
+                          help="append trace-derived OPN heatmaps and "
+                               "occupancy timelines for the kernel suite")
     _add_pipeline_options(report_p)
     return parser
 
@@ -209,7 +303,7 @@ def _make_runner(args):
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    handler = {"list": _cmd_list, "run": _cmd_run,
+    handler = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
                "asm": _cmd_asm, "report": _cmd_report}[args.command]
     runner = _make_runner(args) if args.command != "list" else None
     try:

@@ -83,6 +83,13 @@ class Runner:
                     variant: str = "compiled") -> TraceSummary:
         return self.pipeline.block_trace(name, variant, formation)
 
+    def trace_summary(self, name: str, variant: str = "compiled",
+                      config: Optional[TripsConfig] = None,
+                      buckets: Optional[int] = None):
+        """Cacheable trace-derived metrics (``repro.trace.TraceMetrics``)
+        for one cycle-level run — the ``report --heatmaps`` input."""
+        return self.pipeline.trace_summary(name, variant, config, buckets)
+
     # -- RISC / reference platforms -----------------------------------------
 
     def powerpc(self, name: str, level: str = "O2") -> RiscStats:

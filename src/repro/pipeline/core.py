@@ -15,6 +15,7 @@ stage                     persist  produces
 ``trips-cycles``          yes      :class:`CycleArtifact` (cycle + OPN + cache)
 ``ideal``                 yes      :class:`IdealStats`
 ``block-trace``           yes      :class:`TraceSummary`
+``trace-summary``         yes      :class:`repro.trace.TraceMetrics`
 ``powerpc``               yes      :class:`RiscStats`
 ``platform``              yes      :class:`SuperscalarStats`
 ``bandwidth``             yes      :class:`BandwidthArtifact` (Figure 8)
@@ -69,12 +70,14 @@ VARIANT_LEVEL = {"compiled": "O2", "hand": "HAND"}
 
 #: Stages whose artifacts persist to disk.
 PERSISTED_STAGES = ("expected", "trips-functional", "trips-cycles", "ideal",
-                    "block-trace", "powerpc", "platform", "bandwidth")
+                    "block-trace", "trace-summary", "powerpc", "platform",
+                    "bandwidth")
 
 #: Stages whose compute step invokes a simulator (used by tests asserting
 #: that a warm cache performs zero simulator invocations).
 SIMULATION_STAGES = ("expected", "trips-functional", "trips-cycles", "ideal",
-                     "block-trace", "powerpc", "platform", "bandwidth")
+                     "block-trace", "trace-summary", "powerpc", "platform",
+                     "bandwidth")
 
 
 class ChecksumMismatch(Exception):
@@ -275,6 +278,33 @@ class Pipeline:
         return self._materialize(
             "ideal", (name, variant, window, dispatch_cost),
             compute, persist=True)
+
+    def trace_summary(self, name: str, variant: str = "compiled",
+                      config: Optional[TripsConfig] = None,
+                      buckets: Optional[int] = None):
+        """Cycle-level run with event tracing, folded to
+        :class:`repro.trace.TraceMetrics` (heatmap/timeline inputs).
+
+        The raw event stream is ephemeral — only the derived metrics
+        are cached, keyed like ``trips-cycles`` plus the timeline
+        resolution.
+        """
+        from repro.trace import CollectingTracer, summarize
+        from repro.uarch.config import TripsConfig as _Config
+
+        resolution = buckets if buckets is not None \
+            else (config or _Config()).trace_occupancy_buckets
+
+        def compute():
+            lowered = self.trips_lowered(name, variant)
+            tracer = CollectingTracer()
+            result, sim = run_cycles(lowered, config=config, tracer=tracer)
+            self.check(name, result, f"trace-summary/{variant}")
+            return summarize(tracer.events, sim.stats.cycles,
+                             buckets=resolution)
+
+        key = (name, variant, config_digest(config), resolution)
+        return self._materialize("trace-summary", key, compute, persist=True)
 
     def block_trace(self, name: str, variant: str = "compiled",
                     formation: str = "hyper") -> TraceSummary:

@@ -1,0 +1,126 @@
+"""Delta-encoded compact trace export with a round-trip reader.
+
+The full event stream of even a small kernel is hundreds of thousands of
+events, so the on-disk format drops everything repeated:
+
+* **Line 1 — header.**  A JSON object::
+
+      {"format": "repro-uarch-trace", "version": 1,
+       "kinds": ["opn_hop", ...],
+       "fields": {"opn_hop": ["klass", "sx", ...], ...},
+       "events": 123456}
+
+  ``kinds`` is the kind string table (indexed by position) and
+  ``fields`` gives each kind's field order.  Both are taken from
+  :data:`repro.trace.events.EVENT_SCHEMA` when the kind is known, and
+  from the first event's sorted field names otherwise, so the reader
+  never needs the in-repo schema — the file is self-describing.
+
+* **Every other line — one event.**  A JSON array::
+
+      [kind_index, cycle_delta, value0, value1, ...]
+
+  ``cycle_delta`` is relative to the previous event's cycle (the first
+  event is relative to 0; deltas may be negative because events are
+  written in program order, not cycle order).  Values follow the
+  header's field order for that kind.
+
+Round-trip guarantee: ``read_compact(write_compact(events)) == events``
+for any event list whose data values are JSON scalars, and re-writing a
+read file reproduces it byte-for-byte (the golden-file test pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, TextIO, Tuple, Union
+
+from repro.trace.events import EVENT_SCHEMA, TraceEvent
+
+FORMAT_NAME = "repro-uarch-trace"
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """The file is not a well-formed compact trace."""
+
+
+def _field_table(events: Sequence[TraceEvent]) -> Tuple[List[str],
+                                                        Dict[str, List[str]]]:
+    """``(kinds, fields)`` for the header, schema-ordered when known."""
+    kinds: List[str] = []
+    fields: Dict[str, List[str]] = {}
+    for event in events:
+        if event.kind in fields:
+            continue
+        kinds.append(event.kind)
+        spec = EVENT_SCHEMA.get(event.kind)
+        fields[event.kind] = list(spec.fields) if spec is not None \
+            else sorted(event.data)
+    return kinds, fields
+
+
+def dump_compact(events: Sequence[TraceEvent], fh: TextIO) -> None:
+    """Write ``events`` to an open text file in compact form."""
+    kinds, fields = _field_table(events)
+    header = {"format": FORMAT_NAME, "version": FORMAT_VERSION,
+              "kinds": kinds, "fields": fields, "events": len(events)}
+    fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+    index_of = {kind: i for i, kind in enumerate(kinds)}
+    previous = 0
+    for event in events:
+        row: List[object] = [index_of[event.kind], event.cycle - previous]
+        for name in fields[event.kind]:
+            row.append(event.data.get(name))
+        previous = event.cycle
+        fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+
+
+def write_compact(events: Sequence[TraceEvent],
+                  path: Union[str, Path]) -> int:
+    """Write ``events`` to ``path``; returns the event count."""
+    with open(path, "w", encoding="utf-8") as fh:
+        dump_compact(events, fh)
+    return len(events)
+
+
+def load_compact(fh: Iterable[str]) -> List[TraceEvent]:
+    """Read events back from an open file / iterable of lines."""
+    lines = iter(fh)
+    try:
+        header = json.loads(next(lines))
+    except StopIteration:
+        raise TraceFormatError("empty trace file") from None
+    except json.JSONDecodeError as error:
+        raise TraceFormatError(f"bad trace header: {error}") from None
+    if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
+        raise TraceFormatError("not a repro-uarch-trace file")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {header.get('version')!r}")
+    kinds = header["kinds"]
+    fields = header["fields"]
+    events: List[TraceEvent] = []
+    cycle = 0
+    for number, line in enumerate(lines, start=2):
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        if not isinstance(row, list) or len(row) < 2:
+            raise TraceFormatError(f"line {number}: malformed event row")
+        kind = kinds[row[0]]
+        cycle += row[1]
+        names = fields[kind]
+        if len(row) != 2 + len(names):
+            raise TraceFormatError(
+                f"line {number}: {kind} expects {len(names)} fields, "
+                f"got {len(row) - 2}")
+        events.append(TraceEvent(kind, cycle, dict(zip(names, row[2:]))))
+    return events
+
+
+def read_compact(path: Union[str, Path]) -> List[TraceEvent]:
+    """Read a compact trace file written by :func:`write_compact`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return load_compact(fh)

@@ -101,7 +101,8 @@ class DramModel:
 class NucaL2:
     """Sixteen-bank static NUCA L2: latency = base + distance penalty."""
 
-    def __init__(self, config: TripsConfig, dram: DramModel) -> None:
+    def __init__(self, config: TripsConfig, dram: DramModel,
+                 tracer=None) -> None:
         from repro.uarch.resources import ResourcePool
         self.config = config
         self.dram = dram
@@ -110,6 +111,7 @@ class NucaL2:
                                           config.l2_assoc)
                       for _ in range(config.l2_banks)]
         self._ports = ResourcePool()
+        self.tracer = tracer
 
     def bank_of(self, address: int) -> int:
         return (address // self.config.l2_line_bytes) % self.config.l2_banks
@@ -124,6 +126,9 @@ class NucaL2:
             + distance * self.config.l2_hop_cycles
         if bank.access(address):
             return start + latency
+        if self.tracer is not None:
+            self.tracer.emit("cache_miss", start, level="l2",
+                             address=address)
         done = self.dram.access(address, start + latency)
         return done + latency  # line returns through the same bank
 
@@ -131,7 +136,8 @@ class NucaL2:
 class L1DataBanks:
     """Four single-ported, address-interleaved 8 KB L1 data banks."""
 
-    def __init__(self, config: TripsConfig, l2: NucaL2) -> None:
+    def __init__(self, config: TripsConfig, l2: NucaL2,
+                 tracer=None) -> None:
         from repro.uarch.resources import ResourcePool
         self.config = config
         self.l2 = l2
@@ -141,6 +147,7 @@ class L1DataBanks:
                       for _ in range(config.l1d_banks)]
         self._ports = ResourcePool()
         self.stats = CacheStats()
+        self.tracer = tracer
 
     def bank_of(self, address: int) -> int:
         return (address // self.config.l1d_line_bytes) % self.config.l1d_banks
@@ -154,10 +161,16 @@ class L1DataBanks:
         bank_index = self.bank_of(address)
         bank = self.banks[bank_index]
         start = self._ports.claim(bank_index, now)
+        tracer = self.tracer
+        if tracer is not None and start > now:
+            tracer.emit("bank_conflict", start, bank=bank_index,
+                        wait=start - now)
         self.stats.accesses += 1
         if bank.access(address):
             return start + self.config.l1d_hit_cycles
         self.stats.misses += 1
+        if tracer is not None:
+            tracer.emit("cache_miss", start, level="l1d", address=address)
         return self.l2.access(address, start + self.config.l1d_hit_cycles)
 
 
@@ -169,13 +182,15 @@ class L1InstructionCache:
     compressed-block encoding of Section 4.4.
     """
 
-    def __init__(self, config: TripsConfig, l2: NucaL2) -> None:
+    def __init__(self, config: TripsConfig, l2: NucaL2,
+                 tracer=None) -> None:
         self.config = config
         self.l2 = l2
         self.cache = SetAssociativeCache(config.l1i_bytes,
                                          config.l1i_line_bytes,
                                          config.l1i_assoc)
         self.stats = CacheStats()
+        self.tracer = tracer
         self._block_base: Dict[str, int] = {}
         self._next_base = 1 << 30   # synthetic code address space
 
@@ -200,6 +215,9 @@ class L1InstructionCache:
             else:
                 self.stats.misses += 1
                 missed = True
+                if self.tracer is not None:
+                    self.tracer.emit("cache_miss", now, level="l1i",
+                                     address=address)
                 done = max(done, self.l2.access(address, now))
         return done, missed
 
@@ -207,9 +225,9 @@ class L1InstructionCache:
 class MemoryHierarchy:
     """The full TRIPS memory system wired together."""
 
-    def __init__(self, config: TripsConfig) -> None:
+    def __init__(self, config: TripsConfig, tracer=None) -> None:
         self.config = config
         self.dram = DramModel(config.dram_cycles, config.dram_occupancy_cycles)
-        self.l2 = NucaL2(config, self.dram)
-        self.l1d = L1DataBanks(config, self.l2)
-        self.l1i = L1InstructionCache(config, self.l2)
+        self.l2 = NucaL2(config, self.dram, tracer=tracer)
+        self.l1d = L1DataBanks(config, self.l2, tracer=tracer)
+        self.l1i = L1InstructionCache(config, self.l2, tracer=tracer)

@@ -130,14 +130,20 @@ class CycleSimulator:
     def __init__(self, lowered: LoweredProgram,
                  config: Optional[TripsConfig] = None,
                  memory_size: int = 16 * 1024 * 1024,
-                 max_blocks: int = 2_000_000) -> None:
+                 max_blocks: int = 2_000_000,
+                 tracer=None) -> None:
         self.lowered = lowered
         self.program: TripsProgram = lowered.program
         self.config = config or TripsConfig()
         self.memory = Memory(memory_size)
-        self.hierarchy = MemoryHierarchy(self.config)
-        self.opn = OperandNetwork(self.config.opn_hop_cycles)
-        self.predictor = NextBlockPredictor(self.config)
+        #: Optional :class:`repro.trace.Tracer`.  Every emission site is
+        #: guarded with ``is not None`` and no timing decision reads the
+        #: tracer, so cycle counts are identical traced or not and the
+        #: disabled path costs one pointer test per site.
+        self.tracer = tracer
+        self.hierarchy = MemoryHierarchy(self.config, tracer=tracer)
+        self.opn = OperandNetwork(self.config.opn_hop_cycles, tracer=tracer)
+        self.predictor = NextBlockPredictor(self.config, tracer=tracer)
         self.stats = CycleStats()
         self.max_blocks = max_blocks
 
@@ -187,6 +193,11 @@ class CycleSimulator:
             fetch_done, icache_miss = self._fetch(block, fetch_start)
             if icache_miss:
                 self.stats.icache_misses += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit("block_fetch", fetch_done, label=label,
+                            start=fetch_start, chunks=self._chunks(block),
+                            miss=icache_miss)
 
             exit_inst, exit_time, done_time = self._execute_block(
                 block, placement, fetch_done)
@@ -200,6 +211,12 @@ class CycleSimulator:
             self._commit_times.append(commit)
             if len(self._commit_times) > window:
                 self._commit_times.pop(0)
+            if tracer is not None:
+                tracer.emit(
+                    "block_commit", commit, label=label,
+                    dispatch=fetch_done + self.config.fetch_to_dispatch_cycles,
+                    done=done_time, size=len(block.instructions),
+                    useful=self._last_useful)
 
             # Resolve control flow and the prediction made at fetch.
             kind = {TOp.BRO: "br", TOp.CALLO: "call", TOp.RET: "ret"}[
@@ -219,7 +236,7 @@ class CycleSimulator:
             exit_index = self._exit_number(block, exit_inst)
             correct = self.predictor.predict_and_update(
                 label, exit_index, kind, next_label,
-                continuation=exit_inst.cont)
+                continuation=exit_inst.cont, now=exit_time)
             if correct:
                 # Pipelined fetch: the ITs can begin streaming the next
                 # block once the current block's chunks have been
@@ -233,6 +250,9 @@ class CycleSimulator:
                     self.stats.branch_mispredictions += 1
                 else:
                     self.stats.call_ret_mispredictions += 1
+                if tracer is not None:
+                    tracer.emit("flush", exit_time, label=label, kind=kind,
+                                penalty=self.config.mispredict_flush_cycles)
                 fetch_ready = exit_time + self.config.mispredict_flush_cycles
 
             func_name, label = next_func, next_label
@@ -275,16 +295,17 @@ class CycleSimulator:
 
     # -- fetch -------------------------------------------------------------------
 
-    def _fetch(self, block: TripsBlock, start: int) -> Tuple[int, bool]:
+    def _chunks(self, block: TripsBlock) -> int:
         n = len(block.instructions)
         if self.config.variable_size_blocks:
             # Section 7 proposal: variable-sized blocks with a 32-byte
             # header — no NOP padding in the I-cache.
-            chunks = max(1, -(-(32 + 4 * n) // 128))
-        else:
-            chunks = max(1, -(-n // 32)) + 1  # 32-inst quanta + header
+            return max(1, -(-(32 + 4 * n) // 128))
+        return max(1, -(-n // 32)) + 1  # 32-inst quanta + header
+
+    def _fetch(self, block: TripsBlock, start: int) -> Tuple[int, bool]:
         done, missed = self.hierarchy.l1i.fetch_block(
-            block.label, chunks, start)
+            block.label, self._chunks(block), start)
         return done, missed
 
     # -- block execution -----------------------------------------------------------
@@ -293,6 +314,8 @@ class CycleSimulator:
                        fetch_done: int) -> Tuple[TInst, int, int]:
         config = self.config
         stats = self.stats
+        tracer = self.tracer
+        block_label = block.label
         n = len(block.instructions)
         state = _TimedBlock(n)
         dispatch_base = fetch_done + config.fetch_to_dispatch_cycles
@@ -421,6 +444,11 @@ class CycleSimulator:
             done = issue + latency
             slots = state.values[index] or {}
             op = inst.op
+            # Loads may still park below (unresolved earlier stores), so
+            # their issue event is emitted after the disambiguation check.
+            if tracer is not None and op is not TOp.LOAD:
+                tracer.emit("inst_issue", issue, label=block_label,
+                            index=index, op=op.value, tile=tile)
 
             if op is TOp.LOAD:
                 address = wrap64(_as_int(slots[Slot.OP0]) + inst.imm)
@@ -437,6 +465,9 @@ class CycleSimulator:
                     return
                 stats.loads += 1
                 stats.l1d_bytes += inst.width
+                if tracer is not None:
+                    tracer.emit("inst_issue", issue, label=block_label,
+                                index=index, op=op.value, tile=tile)
                 bank = self.hierarchy.l1d.bank_of(address)
                 depart = self.opn.send(coord, dt_coord(bank), done, "ET-DT")
                 value, forwarded_from = self._load_forwarded(
@@ -455,6 +486,20 @@ class CycleSimulator:
                         stats.load_flushes += 1
                         load_flush_penalty += \
                             self.config.load_violation_flush_cycles
+                        if tracer is not None:
+                            tracer.emit(
+                                "load_flush", back, label=block_label,
+                                index=index,
+                                penalty=self.config
+                                .load_violation_flush_cycles)
+                if tracer is not None:
+                    if forwarded_from >= 0:
+                        tracer.emit("load_forward", back, label=block_label,
+                                    index=index, lsid=inst.lsid,
+                                    supplier=forwarded_from,
+                                    address=address)
+                    tracer.emit("inst_retire", back, label=block_label,
+                                index=index, op=op.value, tile=tile)
                 deliver(value, back, inst.targets, index, dt_coord(bank))
                 return
             if op is TOp.STORE:
@@ -472,12 +517,18 @@ class CycleSimulator:
                 store_buffer[inst.lsid] = (address, value, inst)
                 resolved_stores[inst.lsid] = finish
                 store_addr_time[inst.lsid] = (finish, address, inst.width)
+                if tracer is not None:
+                    tracer.emit("inst_retire", finish, label=block_label,
+                                index=index, op=op.value, tile=tile)
                 unpark()
                 return
             if op is TOp.NULL:
                 if inst.lsid >= 0:
                     resolved_stores[inst.lsid] = done
                     unpark()
+                if tracer is not None:
+                    tracer.emit("inst_retire", done, label=block_label,
+                                index=index, op=op.value, tile=tile)
                 deliver(NULL_TOKEN, done, inst.targets, index, coord)
                 return
             if op in _EXIT_SET:
@@ -485,12 +536,18 @@ class CycleSimulator:
                     raise TrapError(f"{block.label}: two exits fired")
                 exit_taken = inst
                 exit_time = self.opn.send(coord, GT_COORD, done, "ET-GT")
+                if tracer is not None:
+                    tracer.emit("inst_retire", exit_time, label=block_label,
+                                index=index, op=op.value, tile=tile)
                 return
             if op in TEST_OPS:
                 pass
             elif op is TOp.MOV:
                 stats.moves += 1
             value = _compute(op, inst, slots)
+            if tracer is not None:
+                tracer.emit("inst_retire", done, label=block_label,
+                            index=index, op=op.value, tile=tile)
             deliver(value, done, inst.targets, index, coord)
 
         # Register reads: RT bank ports, then routed to consumers.
@@ -674,8 +731,13 @@ def _buffered_load(memory, address: int, inst, store_buffer,
 def run_cycles(lowered: LoweredProgram, entry: str = "main",
                args: Optional[List[object]] = None,
                config: Optional[TripsConfig] = None,
-               memory_size: int = 16 * 1024 * 1024):
-    """One-shot convenience: returns (result, simulator)."""
-    simulator = CycleSimulator(lowered, config, memory_size)
+               memory_size: int = 16 * 1024 * 1024,
+               tracer=None):
+    """One-shot convenience: returns (result, simulator).
+
+    ``tracer`` (a :class:`repro.trace.Tracer`) enables per-cycle event
+    tracing; timing is identical with or without it.
+    """
+    simulator = CycleSimulator(lowered, config, memory_size, tracer=tracer)
     result = simulator.run(entry, args)
     return result, simulator

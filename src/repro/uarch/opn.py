@@ -18,7 +18,7 @@ Figure 8 of the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 Coord = Tuple[int, int]
 
@@ -71,34 +71,51 @@ class OpnStats:
     queue_cycles: int = 0
 
     def record(self, klass: str, hops: int, queued: int) -> None:
+        """Account one delivered operand.
+
+        ``klass`` is the traffic class (``ET-ET``, ``ET-DT``, ...);
+        ``hops`` is the number of mesh *links traversed* (0 for a
+        same-tile bypass); ``queued`` is the total *cycles* the operand
+        spent waiting behind busy links along its route.
+        """
         self.packets[klass] = self.packets.get(klass, 0) + 1
         self.hops[klass] = self.hops.get(klass, 0) + hops
         key = (klass, min(hops, 5))
         self.hop_histogram[key] = self.hop_histogram.get(key, 0) + 1
         self.queue_cycles += queued
 
-    def average_hops(self) -> float:
-        total_packets = sum(self.packets.values())
-        total_hops = sum(self.hops.values())
+    def average_hops(self, klass: Optional[str] = None) -> float:
+        """Mean links traversed per packet, over all traffic or one
+        class; ``0.0`` on an empty run (never a ZeroDivisionError)."""
+        if klass is None:
+            total_packets = sum(self.packets.values())
+            total_hops = sum(self.hops.values())
+        else:
+            total_packets = self.packets.get(klass, 0)
+            total_hops = self.hops.get(klass, 0)
         return total_hops / total_packets if total_packets else 0.0
 
     def class_histogram(self, klass: str) -> Dict[int, float]:
-        """Hop-count distribution (fractions) for one traffic class."""
+        """Hop-count distribution (fractions, keys 0..5) for one
+        traffic class.  A class with no recorded packets yields all-zero
+        fractions rather than dividing by zero."""
         total = self.packets.get(klass, 0)
-        if not total:
-            return {}
-        return {h: self.hop_histogram.get((klass, h), 0) / total
+        return {h: (self.hop_histogram.get((klass, h), 0) / total
+                    if total else 0.0)
                 for h in range(6)}
 
 
 class OperandNetwork:
     """Link-contention timing model of the 5x5 mesh."""
 
-    def __init__(self, hop_cycles: int = 1) -> None:
+    def __init__(self, hop_cycles: int = 1, tracer=None) -> None:
         from repro.uarch.resources import ResourcePool
         self.hop_cycles = hop_cycles
         self.links = ResourcePool()
         self.stats = OpnStats()
+        #: Optional :class:`repro.trace.Tracer`; ``None`` (the default)
+        #: skips all event construction.
+        self.tracer = tracer
 
     def send(self, src: Coord, dst: Coord, ready: int, klass: str) -> int:
         """Deliver one operand; returns its arrival time.
@@ -113,8 +130,13 @@ class OperandNetwork:
         time = ready
         queued = 0
         hops = 0
+        tracer = self.tracer
         for link in route(src, dst):
             start = self.links.claim(link, time)
+            if tracer is not None:
+                (sx, sy), (dx, dy) = link
+                tracer.emit("opn_hop", start, klass=klass, sx=sx, sy=sy,
+                            dx=dx, dy=dy, wait=start - time)
             queued += start - time
             time = start + self.hop_cycles
             hops += 1

@@ -213,17 +213,24 @@ class TargetPredictor:
 class NextBlockPredictor:
     """The complete TRIPS next-block predictor (exit + target)."""
 
-    def __init__(self, config: TripsConfig = None) -> None:
+    def __init__(self, config: TripsConfig = None, tracer=None) -> None:
         config = config or TripsConfig()
         self.exit_predictor = ExitPredictor(config.exit_predictor_bytes)
         self.target_predictor = TargetPredictor(
             config.target_predictor_bytes, ras_entries=config.ras_entries)
         self.stats = PredictorStats()
+        #: Optional :class:`repro.trace.Tracer` receiving one ``predict``
+        #: event per prediction outcome.
+        self.tracer = tracer
 
     def predict_and_update(self, label: str, actual_exit: int,
                            kind: str, target: str,
-                           continuation: str = "") -> bool:
-        """One prediction step against ground truth; returns correct?"""
+                           continuation: str = "", now: int = 0) -> bool:
+        """One prediction step against ground truth; returns correct?
+
+        ``now`` is only used to stamp the trace event (the cycle the
+        exit resolved); untimed callers (the Figure 7 study) leave it 0.
+        """
         block = _hash(label)
         self.stats.predictions += 1
         predicted_exit = self.exit_predictor.predict(block)
@@ -240,4 +247,8 @@ class NextBlockPredictor:
         self.exit_predictor.update(block, actual_exit)
         self.target_predictor.update(block, actual_exit, kind, target,
                                      continuation)
+        if self.tracer is not None:
+            self.tracer.emit("predict", now, label=label, kind=kind,
+                             exit=actual_exit, predicted_exit=predicted_exit,
+                             correct=correct)
         return correct

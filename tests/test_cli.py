@@ -63,6 +63,48 @@ class TestRun:
                    if e["stage"] == "trips-cycles")
 
 
+class TestTrace:
+    def test_trace_renders_views(self, cache_dir, capsys):
+        assert main(["trace", "crc", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cycles, IPC" in out
+        assert "OPN link utilization" in out
+        assert "window occupancy" in out
+        assert "ET issue utilization" in out
+
+    def test_trace_writes_compact_stream(self, cache_dir, tmp_path, capsys):
+        from repro.trace import read_compact
+        out_file = tmp_path / "crc.trace.jsonl"
+        assert main(["trace", "crc", "--out", str(out_file),
+                     "--buckets", "8", "--cache-dir", cache_dir]) == 0
+        events = read_compact(out_file)
+        assert events
+        assert f"wrote {len(events)} events" in capsys.readouterr().out
+
+    def test_run_uarch_trace(self, cache_dir, tmp_path, capsys):
+        from repro.trace import read_compact
+        out_file = tmp_path / "run.trace.jsonl"
+        assert main(["run", "crc", "--system", "cycles",
+                     "--uarch-trace", str(out_file),
+                     "--cache-dir", cache_dir]) == 0
+        captured = capsys.readouterr()
+        assert "cycles, IPC" in captured.out
+        assert read_compact(out_file)
+
+    def test_traced_run_matches_cached_cycles(self, cache_dir, tmp_path,
+                                              capsys):
+        """--uarch-trace bypasses the artifact cache but must print the
+        same cycle count as the cached run."""
+        assert main(["run", "crc", "--system", "cycles",
+                     "--cache-dir", cache_dir]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", "crc", "--system", "cycles",
+                     "--uarch-trace", str(tmp_path / "t.jsonl"),
+                     "--cache-dir", cache_dir]) == 0
+        traced = capsys.readouterr().out
+        assert plain == traced
+
+
 class TestListAndAsm:
     def test_list(self, capsys):
         assert main(["list"]) == 0
@@ -88,6 +130,16 @@ class TestReport:
     def test_report_static_tables(self, cache_dir, capsys):
         assert main(["report", "table2", "--cache-dir", cache_dir]) == 0
         assert "Benchmark suites" in capsys.readouterr().out
+
+    def test_report_heatmaps(self, cache_dir, capsys):
+        assert main(["report", "table2", "--heatmaps",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark suites" in out
+        for kernel in ("ct", "conv", "vadd", "matrix"):
+            assert f"=== {kernel} (compiled) ===" in out
+        assert "OPN link utilization" in out
+        assert "window occupancy" in out
 
     def test_report_jobs_requires_cache(self, capsys):
         assert main(["report", "table1", "--jobs", "2", "--no-cache"]) == 2
