@@ -17,6 +17,10 @@ Subcommands:
   link-utilization heatmap, window-occupancy timeline, per-tile issue
   histogram); ``--out FILE`` writes the compact event stream
   (``docs/TRACE.md`` documents the schema and format).
+* ``chaos BENCH`` — fault-injection drill: warm the benchmark's
+  artifacts under an injected ``--faults`` plan, then verify and heal
+  the cache; prints the run report and any quarantine incidents
+  (``docs/ROBUSTNESS.md`` documents the plan format and semantics).
 
 Pipeline options (on ``run``, ``asm``, and ``report``):
 
@@ -49,6 +53,26 @@ def _cmd_list(_args, _runner) -> int:
 
 
 def _cmd_run(args, runner) -> int:
+    """One benchmark on one system, with a run report on failure.
+
+    Any simulation/cache fault surfaces as a one-unit
+    :class:`~repro.robust.RunReport` (cause included) instead of a bare
+    traceback.
+    """
+    from repro.robust import FAILED, RunReport
+
+    try:
+        return _run_system(args, runner)
+    except Exception as exc:
+        report = RunReport()
+        report.record_attempt(args.benchmark, exc)
+        report.resolve(args.benchmark, FAILED, attempts=1,
+                       note=f"system={args.system}, variant={args.variant}")
+        print(report.render(), file=sys.stderr)
+        return 1
+
+
+def _run_system(args, runner) -> int:
     name = args.benchmark
     variant = args.variant
     system = args.system
@@ -173,6 +197,7 @@ def _cmd_asm(args, runner) -> int:
 
 def _cmd_report(args, runner) -> int:
     from repro.eval import experiment_names, run_experiment
+    from repro.robust import RetryPolicy, RunReport
 
     if args.list:
         for key in experiment_names():
@@ -180,6 +205,7 @@ def _cmd_report(args, runner) -> int:
         return 0
     keys = experiment_names() if args.experiment == "all" \
         else [args.experiment]
+    report = RunReport()
 
     if args.jobs > 1:
         if runner.pipeline.store is None:
@@ -189,17 +215,32 @@ def _cmd_report(args, runner) -> int:
         from repro.pipeline.parallel import report_plan, warm_benchmarks
         benchmarks, trace_names, bandwidth = report_plan(keys)
         if benchmarks or bandwidth:
-            cache_root = runner.pipeline.store.root.parent
+            cache_root = runner.pipeline.store.base
             warm_benchmarks(
                 benchmarks, cache_root, jobs=args.jobs,
                 trace_names=trace_names, bandwidth=bandwidth,
                 telemetry=runner.pipeline.telemetry,
+                policy=RetryPolicy(max_attempts=args.retries + 1),
+                stage_timeout=args.stage_timeout, report=report,
                 progress=lambda label: print(f"warmed {label}",
                                              file=sys.stderr))
 
+    # Render every figure we can: a failed benchmark unit (or a driver
+    # error) annotates that experiment instead of aborting the run.
     for key in keys:
-        print(run_experiment(key, runner=runner))
+        try:
+            rendered = run_experiment(key, runner=runner)
+        except Exception as exc:
+            message = f"{key}: {type(exc).__name__}: {exc}"
+            report.annotate(message)
+            print(f"[{key} unavailable: {type(exc).__name__}: {exc}]")
+            print()
+            continue
+        print(rendered)
         print()
+
+    if report.eventful:
+        print(report.render())
 
     if args.heatmaps:
         from repro.bench import by_suite
@@ -211,7 +252,60 @@ def _cmd_report(args, runner) -> int:
             print(render_opn_heatmap(metrics))
             print(render_occupancy_timeline(metrics))
             print()
-    return 0
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args, runner) -> int:
+    from repro.pipeline.parallel import warm_benchmarks
+    from repro.robust import FaultPlan, RetryPolicy, RunReport
+
+    if runner.pipeline.store is None:
+        print("chaos requires the artifact cache "
+              "(drop --no-cache / REPRO_CACHE=0)", file=sys.stderr)
+        return 2
+    try:
+        plan = FaultPlan.parse(args.faults, seed=args.seed)
+    except ValueError as exc:
+        print(f"bad --faults plan: {exc}", file=sys.stderr)
+        return 2
+    policy = RetryPolicy(max_attempts=args.retries + 1, seed=args.seed)
+    report = RunReport()
+    cache_root = runner.pipeline.store.base
+    include = ("expected", "cycles")
+
+    print(f"chaos drill: {args.benchmark} under [{plan.describe()}], "
+          f"jobs={args.jobs}, retries={args.retries}", file=sys.stderr)
+    warm_benchmarks([args.benchmark], cache_root, jobs=args.jobs,
+                    include=include, faults=plan, policy=policy,
+                    stage_timeout=args.stage_timeout,
+                    telemetry=runner.pipeline.telemetry, report=report,
+                    progress=lambda label: print(f"warmed {label}",
+                                                 file=sys.stderr))
+    # Verification pass, fault-free and in-process: loading every
+    # artifact heals any corruption the plan injected (corrupt entries
+    # are quarantined and recomputed).
+    warm_benchmarks([args.benchmark], cache_root, jobs=1, include=include,
+                    telemetry=runner.pipeline.telemetry)
+
+    print(report.render())
+    incidents = runner.incidents()
+    if incidents:
+        print(f"quarantine: {len(incidents)} incident(s)")
+        for record in incidents:
+            print(f"  {record['stage']}  {record['digest'][:16]}  "
+                  f"{record['reason']}")
+    return 0 if report.ok else 1
+
+
+def _add_robust_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="worker attempts per benchmark unit beyond the "
+                             "first, before degrading to in-process "
+                             "execution (default 2)")
+    parser.add_argument("--stage-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-unit wall-clock budget for warm workers; "
+                             "a hung unit is killed, retried, then degraded")
 
 
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
@@ -282,7 +376,23 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--heatmaps", action="store_true",
                           help="append trace-derived OPN heatmaps and "
                                "occupancy timelines for the kernel suite")
+    _add_robust_options(report_p)
     _add_pipeline_options(report_p)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="fault-injection drill against the warm pipeline")
+    chaos_p.add_argument("benchmark")
+    chaos_p.add_argument("--faults", required=True, metavar="PLAN",
+                         help="comma-separated kind:site[:times[:seconds]] "
+                              "faults (kinds: corrupt-cache-entry, "
+                              "kill-worker, slow-stage, flaky-stage); see "
+                              "docs/ROBUSTNESS.md")
+    chaos_p.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="warm worker processes (default 2)")
+    chaos_p.add_argument("--seed", type=int, default=0, metavar="N",
+                         help="seed for the fault plan and retry backoff")
+    _add_robust_options(chaos_p)
+    _add_pipeline_options(chaos_p)
     return parser
 
 
@@ -304,7 +414,8 @@ def _make_runner(args):
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
-               "asm": _cmd_asm, "report": _cmd_report}[args.command]
+               "asm": _cmd_asm, "report": _cmd_report,
+               "chaos": _cmd_chaos}[args.command]
     runner = _make_runner(args) if args.command != "list" else None
     try:
         return handler(args, runner)

@@ -98,6 +98,16 @@ class Runner:
     def platform(self, name: str, platform: str, level: str = "O2"):
         return self.pipeline.platform(name, platform, level)
 
+    # -- cache health -------------------------------------------------------
+
+    def incidents(self):
+        """Quarantine incident records from the on-disk store (all
+        processes that shared this cache), newest last; ``[]`` when the
+        runner is memory-only.  See ``docs/ROBUSTNESS.md``."""
+        if self.pipeline.store is None:
+            return []
+        return self.pipeline.store.list_incidents()
+
 
 #: Session-wide shared runner (experiments and benchmarks reuse results).
 #: Disk-backed at ``.repro-cache/`` unless ``REPRO_CACHE=0``.

@@ -14,7 +14,7 @@ from repro.pipeline.core import (
 from repro.pipeline.keys import (
     artifact_digest, config_digest, source_digest, stable_digest,
 )
-from repro.pipeline.observe import StageCounters, Telemetry, TraceLog
+from repro.pipeline.observe import CORRUPT, StageCounters, Telemetry, TraceLog
 from repro.pipeline.store import (
     SCHEMA_VERSION, ArtifactStore, cache_enabled, default_cache_dir,
 )
@@ -22,6 +22,7 @@ from repro.pipeline.store import (
 __all__ = [
     "ArtifactStore",
     "BandwidthArtifact",
+    "CORRUPT",
     "ChecksumMismatch",
     "CycleArtifact",
     "CycleView",

@@ -144,9 +144,12 @@ class Pipeline:
     """
 
     def __init__(self, cache_dir=None, telemetry: Optional[Telemetry] = None,
-                 trace: Optional[TraceLog] = None) -> None:
-        self.store = ArtifactStore(cache_dir) if cache_dir else None
+                 trace: Optional[TraceLog] = None, fault_plan=None,
+                 fault_attempt: int = 0) -> None:
         self.telemetry = telemetry or Telemetry()
+        self.store = ArtifactStore(
+            cache_dir, telemetry=self.telemetry, fault_plan=fault_plan,
+            fault_attempt=fault_attempt) if cache_dir else None
         self.trace = trace
         self._memory: Dict[Tuple[str, str], Any] = {}
         #: Golden interpreter results by benchmark name.  A plain dict so

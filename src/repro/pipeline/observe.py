@@ -22,6 +22,9 @@ MEMORY_HIT = "memory-hit"
 DISK_HIT = "disk-hit"
 COMPUTE = "compute"
 STORE = "store"
+#: A cache entry failed to load/verify and was quarantined
+#: (see :meth:`repro.pipeline.store.ArtifactStore.quarantine`).
+CORRUPT = "corrupt"
 
 
 @dataclass
@@ -32,6 +35,7 @@ class StageCounters:
     disk_hits: int = 0
     computes: int = 0
     stores: int = 0
+    corrupt_entries: int = 0
     compute_seconds: float = 0.0
     load_seconds: float = 0.0
 
@@ -55,12 +59,15 @@ class StageCounters:
             self.compute_seconds += seconds
         elif event == STORE:
             self.stores += 1
+        elif event == CORRUPT:
+            self.corrupt_entries += 1
 
     def merge(self, other: "StageCounters") -> None:
         self.memory_hits += other.memory_hits
         self.disk_hits += other.disk_hits
         self.computes += other.computes
         self.stores += other.stores
+        self.corrupt_entries += other.corrupt_entries
         self.compute_seconds += other.compute_seconds
         self.load_seconds += other.load_seconds
 
@@ -133,18 +140,19 @@ class Telemetry:
     def profile(self) -> Tuple[List[str], List[List[object]]]:
         """``(headers, rows)`` for the ``--profile`` summary table."""
         headers = ["Stage", "req", "mem hit", "disk hit", "miss",
-                   "hit%", "compute s", "load s"]
+                   "hit%", "compute s", "load s", "corrupt"]
         rows: List[List[object]] = []
         for name in sorted(self.stages):
             c = self.stages[name]
             rows.append([name, c.requests, c.memory_hits, c.disk_hits,
                          c.computes, 100.0 * c.hit_rate,
-                         c.compute_seconds, c.load_seconds])
+                         c.compute_seconds, c.load_seconds,
+                         c.corrupt_entries])
         total = StageCounters()
         for c in self.stages.values():
             total.merge(c)
         rows.append(["TOTAL", total.requests, total.memory_hits,
                      total.disk_hits, total.computes,
                      100.0 * total.hit_rate, total.compute_seconds,
-                     total.load_seconds])
+                     total.load_seconds, total.corrupt_entries])
         return headers, rows

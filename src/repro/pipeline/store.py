@@ -3,12 +3,22 @@
 Layout::
 
     <cache root>/v<SCHEMA_VERSION>/<stage>/<digest[:2]>/<digest>.pkl
+    <cache root>/quarantine/<stage>/<digest>.pkl    (+ .json incident)
 
-Each file is a pickle of ``{"digest": ..., "stage": ..., "value": ...}``.
+Each file is a pickle of ``{"digest", "stage", "checksum", "blob"}``
+where ``blob`` is the pickled artifact value and ``checksum`` its
+SHA-256, so bit rot inside a structurally-valid pickle is still caught.
 Writes go through a temporary file in the same directory followed by an
 atomic :func:`os.replace`, so concurrent warm workers never expose a
-partially written artifact.  Corrupt or unreadable entries are treated
-as misses (and removed) rather than raised.
+partially written artifact.
+
+Corrupt, checksum-mismatched, or otherwise unreadable entries are
+treated as misses — but never silently destroyed: the offending file is
+*moved* to the ``quarantine/`` sibling directory with a structured JSON
+incident record, a :class:`~repro.robust.CacheCorruption` is appended to
+:attr:`ArtifactStore.incidents`, and the hit is counted in
+:class:`~repro.pipeline.observe.Telemetry` so the ``--profile`` table
+surfaces cache health.
 
 Invalidation is entirely key-side (see :mod:`repro.pipeline.keys`): the
 schema version below participates in every digest, so bumping it
@@ -18,14 +28,21 @@ abandons old artifacts wholesale, and the source digest folds the whole
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.robust.errors import CacheCorruption
+from repro.robust.faults import FaultPlan, maybe_corrupt
 
 #: Bump on any change to artifact shapes or stage semantics.
-SCHEMA_VERSION = 1
+#: (2: checksummed ``blob`` payload + quarantine, PR 3.)
+SCHEMA_VERSION = 2
 
 #: Sentinel distinguishing "miss" from a cached ``None`` value.
 _MISS = object()
@@ -52,36 +69,58 @@ def cache_enabled() -> bool:
 
 
 class ArtifactStore:
-    """On-disk pickle store addressed by stage name + content digest."""
+    """On-disk pickle store addressed by stage name + content digest.
 
-    def __init__(self, root) -> None:
-        self.root = Path(root) / f"v{SCHEMA_VERSION}"
+    ``telemetry`` (a :class:`~repro.pipeline.observe.Telemetry`) counts
+    corrupt-entry hits per stage; ``fault_plan``/``fault_attempt`` wire
+    in the deterministic chaos harness (a matching
+    ``corrupt-cache-entry`` fault garbles the bytes of a just-written
+    artifact so the next load exercises the quarantine path).
+    """
+
+    def __init__(self, root, telemetry=None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 fault_attempt: int = 0) -> None:
+        self.base = Path(root)
+        self.root = self.base / f"v{SCHEMA_VERSION}"
+        self.quarantine_root = self.base / "quarantine"
+        self.telemetry = telemetry
+        self.fault_plan = fault_plan
+        self.fault_attempt = fault_attempt
+        #: Corruption incidents seen by *this* store instance.
+        self.incidents: List[CacheCorruption] = []
 
     def path_for(self, stage: str, digest: str) -> Path:
         return self.root / stage / digest[:2] / f"{digest}.pkl"
 
+    # -- load / store ------------------------------------------------------
+
     def load(self, stage: str, digest: str) -> Tuple[bool, Any]:
-        """``(found, value)``; corrupt entries count as misses."""
+        """``(found, value)``; corrupt entries are quarantined misses."""
         path = self.path_for(stage, digest)
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
             if payload.get("digest") != digest:
                 raise ValueError("digest mismatch")
-            return True, payload["value"]
+            blob = payload["blob"]
+            if hashlib.sha256(blob).hexdigest() != payload.get("checksum"):
+                raise ValueError("checksum mismatch")
+            return True, pickle.loads(blob)
         except FileNotFoundError:
             return False, None
-        except Exception:
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except Exception as exc:
+            self.quarantine(stage, digest, path,
+                            f"{type(exc).__name__}: {exc}")
             return False, None
 
     def store(self, stage: str, digest: str, value: Any) -> None:
         path = self.path_for(stage, digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"digest": digest, "stage": stage, "value": value}
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = {"digest": digest, "stage": stage,
+                   "checksum": hashlib.sha256(blob).hexdigest(),
+                   "blob": blob}
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -93,6 +132,55 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        maybe_corrupt(self.fault_plan, stage, self.fault_attempt, path)
+
+    # -- quarantine --------------------------------------------------------
+
+    def quarantine(self, stage: str, digest: str, path: Path,
+                   reason: str) -> CacheCorruption:
+        """Move a corrupt entry aside and record a structured incident."""
+        dest = self.quarantine_root / stage / path.name
+        moved = True
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            moved = False
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        incident = CacheCorruption(stage=stage, digest=digest,
+                                   path=str(dest if moved else path),
+                                   reason=reason)
+        record = {"stage": stage, "digest": digest, "reason": reason,
+                  "quarantined_from": str(path), "moved": moved,
+                  "schema": SCHEMA_VERSION, "ts": round(time.time(), 3)}
+        try:
+            dest.with_suffix(".json").write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+        except OSError:
+            pass
+        self.incidents.append(incident)
+        if self.telemetry is not None:
+            from repro.pipeline.observe import CORRUPT
+            self.telemetry.record(stage, CORRUPT)
+        return incident
+
+    def list_incidents(self) -> List[Dict[str, Any]]:
+        """All incident records under ``quarantine/`` (any process)."""
+        records: List[Dict[str, Any]] = []
+        if not self.quarantine_root.exists():
+            return records
+        for path in sorted(self.quarantine_root.rglob("*.json")):
+            try:
+                records.append(json.loads(path.read_text(encoding="utf-8")))
+            except (OSError, ValueError):
+                continue
+        return records
+
+    # -- maintenance -------------------------------------------------------
 
     def clear(self) -> int:
         """Remove every artifact under this schema; returns files removed."""

@@ -1,0 +1,119 @@
+"""Structured error taxonomy for the fault-tolerant execution layer.
+
+Every class carries enough machine-readable context (stage, benchmark
+unit, digest, attempt count) that a caller can decide to retry, degrade,
+quarantine, or report without parsing the message — and the rendered
+message itself always names the failing site, so a bare traceback in a
+log is already diagnosable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.ir.interp import TrapError
+
+
+class RobustError(Exception):
+    """Base class for harness faults.
+
+    ``context`` is a plain dict of the structured fields; subclasses
+    also expose them as attributes.  ``str()`` appends the context so
+    the message alone is diagnosable.
+    """
+
+    def __init__(self, message: str, **context: Any) -> None:
+        super().__init__(message)
+        self.context: Dict[str, Any] = context
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.context:
+            return base
+        detail = ", ".join(f"{key}={value!r}"
+                           for key, value in sorted(self.context.items()))
+        return f"{base} [{detail}]"
+
+
+class StageError(RobustError):
+    """A pipeline stage raised while computing one unit's artifacts."""
+
+    def __init__(self, unit: str, cause: BaseException, stage: str = "warm",
+                 attempts: int = 1) -> None:
+        self.unit = unit
+        self.stage = stage
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"stage {stage!r} failed for {unit!r}: "
+            f"{type(cause).__name__}: {cause}",
+            unit=unit, stage=stage, attempts=attempts)
+
+
+class WorkerCrash(RobustError):
+    """A warm worker process died (e.g. ``BrokenProcessPool``)."""
+
+    def __init__(self, unit: str, attempts: int = 1) -> None:
+        self.unit = unit
+        self.attempts = attempts
+        super().__init__(
+            f"worker process died while warming {unit!r}",
+            unit=unit, attempts=attempts)
+
+
+class StageTimeout(RobustError):
+    """A warm unit exceeded its per-stage wall-clock budget."""
+
+    def __init__(self, unit: str, seconds: float, attempts: int = 1) -> None:
+        self.unit = unit
+        self.seconds = seconds
+        self.attempts = attempts
+        super().__init__(
+            f"warming {unit!r} exceeded its {seconds:g}s stage timeout",
+            unit=unit, seconds=seconds, attempts=attempts)
+
+
+class CacheCorruption(RobustError):
+    """A cache entry failed to load or verify; it has been quarantined."""
+
+    def __init__(self, stage: str, digest: str, path: str,
+                 reason: str) -> None:
+        self.stage = stage
+        self.digest = digest
+        self.path = path
+        self.reason = reason
+        super().__init__(
+            f"corrupt {stage!r} cache entry {digest[:16]}: {reason}",
+            stage=stage, digest=digest, path=path, reason=reason)
+
+
+class SimulationBudgetExceeded(RobustError, TrapError):
+    """The cycle-level simulator ran past a configured budget.
+
+    Subclasses :class:`~repro.ir.interp.TrapError` so existing callers
+    that guard simulation with ``except TrapError`` keep working, while
+    new callers get the full microarchitectural context: the block being
+    fetched, how many blocks committed, the current commit cycle, and
+    the commit times of the blocks still in flight.
+    """
+
+    def __init__(self, kind: str, budget: Any, label: str,
+                 blocks_committed: int, cycle: int,
+                 window: Tuple[int, ...],
+                 elapsed: Optional[float] = None) -> None:
+        self.kind = kind
+        self.budget = budget
+        self.label = label
+        self.blocks_committed = blocks_committed
+        self.cycle = cycle
+        self.window = window
+        self.elapsed = elapsed
+        message = (f"cycle simulation exceeded its {kind} budget ({budget}) "
+                   f"at block {label!r}: {blocks_committed} blocks "
+                   f"committed, cycle {cycle}, {len(window)} blocks in "
+                   f"flight")
+        if elapsed is not None:
+            message += f", {elapsed:.1f}s elapsed"
+        super().__init__(message, kind=kind, budget=budget, label=label,
+                         blocks_committed=blocks_committed, cycle=cycle,
+                         window=tuple(window))

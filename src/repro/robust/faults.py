@@ -1,0 +1,135 @@
+"""Deterministic fault-injection harness (``repro chaos``, chaos tests).
+
+A :class:`FaultPlan` is a picklable, immutable list of faults, each
+activated purely by ``(kind, site, attempt)`` — no wall-clock
+randomness, so a plan replays identically in workers, in-process
+fallbacks, and across test runs.  Fault kinds:
+
+``kill-worker``
+    The warm worker process calls ``os._exit`` — the parent sees
+    ``BrokenProcessPool``.  Honored only inside pool workers, so the
+    in-process serial fallback always survives it.
+``flaky-stage``
+    The unit raises :class:`InjectedFault` (an ordinary exception).
+``slow-stage``
+    The unit sleeps ``seconds`` before doing any work — long enough to
+    trip a configured stage timeout.
+``corrupt-cache-entry``
+    Immediately after the store writes an artifact for the matching
+    *stage*, the on-disk bytes are garbled; the next load detects the
+    corruption and quarantines the entry.
+
+The textual plan format (CLI ``--faults``) is a comma-separated list of
+``kind:site[:times[:seconds]]`` entries; ``site`` is a benchmark name
+(or stage name for ``corrupt-cache-entry``), ``*`` or empty matches any
+site, and ``times`` bounds how many attempts fire the fault (default 1:
+attempt 0 only, so the first retry succeeds).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: Exit status used by ``kill-worker`` (visible in worker crash logs).
+KILL_EXIT_CODE = 87
+
+FAULT_KINDS = ("corrupt-cache-entry", "kill-worker", "slow-stage",
+               "flaky-stage")
+
+
+class InjectedFault(RuntimeError):
+    """A deterministic failure raised by a ``flaky-stage`` fault."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injection site: fires while ``attempt < times``."""
+
+    kind: str
+    site: str = "*"
+    times: int = 1
+    seconds: float = 0.0
+
+    def matches(self, kind: str, site: str, attempt: int) -> bool:
+        return (self.kind == kind
+                and self.site in ("*", site)
+                and attempt < self.times)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable set of faults plus the activation seed.
+
+    The seed participates in the retry backoff of the chaos CLI so one
+    ``--seed`` reproduces a whole drill end to end.
+    """
+
+    faults: Tuple[Fault, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse ``kind:site[:times[:seconds]],...`` (see module doc)."""
+        faults = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            bits = part.split(":")
+            kind = bits[0]
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} (expected one of "
+                    f"{', '.join(FAULT_KINDS)})")
+            site = bits[1] if len(bits) > 1 and bits[1] else "*"
+            times = int(bits[2]) if len(bits) > 2 else 1
+            seconds = float(bits[3]) if len(bits) > 3 else 0.0
+            faults.append(Fault(kind, site, times, seconds))
+        return cls(tuple(faults), seed)
+
+    def active(self, kind: str, site: str, attempt: int) -> Optional[Fault]:
+        """The first fault firing at this ``(kind, site, attempt)``."""
+        for fault in self.faults:
+            if fault.matches(kind, site, attempt):
+                return fault
+        return None
+
+    def describe(self) -> str:
+        return ", ".join(
+            f"{f.kind}:{f.site}:{f.times}"
+            + (f":{f.seconds:g}" if f.seconds else "")
+            for f in self.faults) or "<no faults>"
+
+
+def apply_unit_faults(plan: Optional[FaultPlan], unit: str, attempt: int,
+                      in_worker: bool) -> None:
+    """Fire the per-unit faults that apply to this attempt.
+
+    Called at the top of every warm unit.  ``kill-worker`` is honored
+    only when ``in_worker`` — the serial degrade path must survive it.
+    """
+    if plan is None:
+        return
+    if in_worker and plan.active("kill-worker", unit, attempt) is not None:
+        os._exit(KILL_EXIT_CODE)
+    slow = plan.active("slow-stage", unit, attempt)
+    if slow is not None:
+        time.sleep(slow.seconds or 30.0)
+    if plan.active("flaky-stage", unit, attempt) is not None:
+        raise InjectedFault(
+            f"injected flaky-stage fault for {unit!r} (attempt {attempt})")
+
+
+def maybe_corrupt(plan: Optional[FaultPlan], stage: str, attempt: int,
+                  path: Path) -> bool:
+    """Garble a just-written artifact if a corrupt-cache fault fires."""
+    if plan is None or plan.active("corrupt-cache-entry", stage,
+                                   attempt) is None:
+        return False
+    size = max(16, path.stat().st_size // 2)
+    path.write_bytes(b"\x00" * size)
+    return True

@@ -1,0 +1,128 @@
+"""Per-unit outcome ledger for a ``report``/``run``/``chaos`` invocation.
+
+A *unit* is one independently-recoverable piece of work — a benchmark's
+warm artifact set, the bandwidth microbenchmarks, one experiment key.
+Every unit ends in exactly one status:
+
+``completed``
+    Succeeded on the first attempt.
+``retried``
+    Succeeded after one or more retries (causes list what failed).
+``degraded``
+    All pooled attempts failed; the in-process serial fallback
+    succeeded.  The run is complete but slower than planned.
+``failed``
+    Every recovery path was exhausted; dependent figures are rendered
+    with this unit annotated as missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+COMPLETED = "completed"
+RETRIED = "retried"
+DEGRADED = "degraded"
+FAILED = "failed"
+
+_STATUS_ORDER = (FAILED, DEGRADED, RETRIED, COMPLETED)
+
+
+@dataclass
+class UnitOutcome:
+    """Final status of one unit plus the causes of every failed try."""
+
+    unit: str
+    status: str = COMPLETED
+    attempts: int = 1
+    causes: List[str] = field(default_factory=list)
+    note: str = ""
+
+
+class RunReport:
+    """Aggregates :class:`UnitOutcome` records across one invocation."""
+
+    def __init__(self) -> None:
+        self.units: Dict[str, UnitOutcome] = {}
+        #: Free-form annotations (e.g. experiments skipped at render
+        #: time because a benchmark unit failed).
+        self.annotations: List[str] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def outcome(self, unit: str) -> UnitOutcome:
+        return self.units.setdefault(unit, UnitOutcome(unit))
+
+    def record_attempt(self, unit: str, error: BaseException) -> None:
+        """One failed try of ``unit``; keeps the cause for the summary."""
+        self.outcome(unit).causes.append(
+            f"{type(error).__name__}: {error}")
+
+    def resolve(self, unit: str, status: str, attempts: int = 1,
+                note: str = "") -> UnitOutcome:
+        outcome = self.outcome(unit)
+        outcome.status = status
+        outcome.attempts = attempts
+        if note:
+            outcome.note = note
+        return outcome
+
+    def annotate(self, message: str) -> None:
+        self.annotations.append(message)
+
+    # -- queries -----------------------------------------------------------
+
+    def by_status(self, status: str) -> List[UnitOutcome]:
+        return [o for o in self.units.values() if o.status == status]
+
+    @property
+    def completed(self) -> List[UnitOutcome]:
+        return self.by_status(COMPLETED)
+
+    @property
+    def retried(self) -> List[UnitOutcome]:
+        return self.by_status(RETRIED)
+
+    @property
+    def degraded(self) -> List[UnitOutcome]:
+        return self.by_status(DEGRADED)
+
+    @property
+    def failed(self) -> List[UnitOutcome]:
+        return self.by_status(FAILED)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing is missing from the results."""
+        return not self.failed and not self.annotations
+
+    @property
+    def eventful(self) -> bool:
+        """True when there is anything worth printing beyond 'all good'."""
+        return bool(self.annotations) or any(
+            o.status != COMPLETED for o in self.units.values())
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        counts = ", ".join(
+            f"{len(self.by_status(s))} {s}" for s in
+            (COMPLETED, RETRIED, DEGRADED, FAILED))
+        lines = [f"run report: {len(self.units)} units — {counts}"]
+        ordered = sorted(
+            self.units.values(),
+            key=lambda o: (_STATUS_ORDER.index(o.status), o.unit))
+        for outcome in ordered:
+            if outcome.status == COMPLETED and not outcome.causes:
+                continue
+            line = (f"  {outcome.status:9s} {outcome.unit:16s} "
+                    f"{outcome.attempts} attempt(s)")
+            if outcome.note:
+                line += f"  {outcome.note}"
+            lines.append(line)
+            for cause in outcome.causes:
+                lines.append(f"            - {cause}")
+        for message in self.annotations:
+            lines.append(f"  annotation: {message}")
+        return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Deterministic retry with capped exponential backoff.
+
+Backoff delays are a pure function of ``(policy, unit, attempt)``: the
+jitter is drawn from a :class:`random.Random` seeded with those three
+values, never from wall-clock entropy, so a retry schedule replays
+byte-identically across runs and the chaos tests can assert exact
+delays.  The sleep itself is injectable (tests pass a no-op).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: ``base * multiplier**attempt``,
+    clamped to ``max_delay``, then scaled by seeded jitter in
+    ``[1 - jitter, 1 + jitter]``."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def delay(self, attempt: int, unit: str = "") -> float:
+        """Seconds to wait after failed try number ``attempt`` (0-based)."""
+        raw = min(self.max_delay,
+                  self.base_delay * self.multiplier ** attempt)
+        if not self.jitter:
+            return raw
+        rng = random.Random(f"{self.seed}\0{unit}\0{attempt}")
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    def delays(self, unit: str = "") -> List[float]:
+        """The full deterministic backoff schedule for one unit."""
+        return [self.delay(attempt, unit)
+                for attempt in range(max(0, self.max_attempts - 1))]
+
+
+def call_with_retry(fn: Callable[[int], object], policy: RetryPolicy,
+                    unit: str = "",
+                    sleep: Callable[[float], None] = time.sleep,
+                    on_retry: Optional[Callable[[str, int, BaseException],
+                                                None]] = None
+                    ) -> Tuple[object, int]:
+    """Call ``fn(attempt)`` until it succeeds or attempts run out.
+
+    Returns ``(value, attempts_used)``; re-raises the last exception
+    once ``policy.max_attempts`` tries have failed.  ``on_retry`` is
+    invoked with ``(unit, attempt, exception)`` before each backoff.
+    """
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn(attempt), attempt + 1
+        except Exception as exc:
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(unit, attempt, exc)
+            sleep(policy.delay(attempt, unit))
+    raise RuntimeError("unreachable")  # pragma: no cover

@@ -6,6 +6,7 @@ from repro.uarch.caches import (
     MemoryHierarchy, NucaL2, SetAssociativeCache,
 )
 from repro.uarch.config import PROTOTYPE, TripsConfig, improved_predictor_config
+from repro.robust.errors import SimulationBudgetExceeded
 from repro.uarch.core import CycleSimulator, CycleStats, run_cycles
 from repro.uarch.ideal import IdealSimulator, IdealStats, run_ideal
 from repro.uarch.opn import (
@@ -36,6 +37,7 @@ __all__ = [
     "PROTOTYPE",
     "PredictorStats",
     "SetAssociativeCache",
+    "SimulationBudgetExceeded",
     "TargetPredictor",
     "TripsConfig",
     "dt_coord",

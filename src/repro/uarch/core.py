@@ -29,10 +29,12 @@ on.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.interp import Memory, TrapError
+from repro.robust.errors import SimulationBudgetExceeded
 from repro.ir.types import wrap64
 
 from repro.isa.asm import is_write_target, write_slot_of
@@ -131,7 +133,9 @@ class CycleSimulator:
                  config: Optional[TripsConfig] = None,
                  memory_size: int = 16 * 1024 * 1024,
                  max_blocks: int = 2_000_000,
-                 tracer=None) -> None:
+                 tracer=None,
+                 max_cycles: Optional[int] = None,
+                 max_wall_seconds: Optional[float] = None) -> None:
         self.lowered = lowered
         self.program: TripsProgram = lowered.program
         self.config = config or TripsConfig()
@@ -145,7 +149,17 @@ class CycleSimulator:
         self.opn = OperandNetwork(self.config.opn_hop_cycles, tracer=tracer)
         self.predictor = NextBlockPredictor(self.config, tracer=tracer)
         self.stats = CycleStats()
+        # Watchdog budgets: the block budget matches the historical
+        # runaway guard; cycle and wall-clock budgets are opt-in.  All
+        # three raise a diagnosable SimulationBudgetExceeded (block
+        # label, committed count, cycle, window state) — never a bare
+        # message.  Only the wall-clock check reads a real clock, and it
+        # can only abort, never change a timing decision, so cycle
+        # counts stay deterministic.
         self.max_blocks = max_blocks
+        self.max_cycles = max_cycles
+        self.max_wall_seconds = max_wall_seconds
+        self._wall_start: Optional[float] = None
 
         from repro.uarch.resources import ResourcePool
         self.regs: List[object] = [0] * 128
@@ -176,10 +190,11 @@ class CycleSimulator:
         call_stack: List[Tuple[str, str]] = []
         fetch_ready = 0          # when the GT may begin the next fetch
         predicted_next: Optional[str] = None
+        self._wall_start = time.monotonic() \
+            if self.max_wall_seconds is not None else None
 
         while True:
-            if self.stats.blocks_committed >= self.max_blocks:
-                raise TrapError("cycle simulation exceeded block budget")
+            self._check_budgets(label)
             block = self.program.function(func_name).blocks[label]
             placement = self.lowered.placement(label)
 
@@ -256,6 +271,33 @@ class CycleSimulator:
                 fetch_ready = exit_time + self.config.mispredict_flush_cycles
 
             func_name, label = next_func, next_label
+
+    # -- watchdog ----------------------------------------------------------
+
+    def _check_budgets(self, label: str) -> None:
+        """Abort with full microarchitectural context when a budget is
+        exhausted; ``label`` is the block about to be fetched."""
+        stats = self.stats
+        if stats.blocks_committed >= self.max_blocks:
+            raise SimulationBudgetExceeded(
+                kind="block", budget=self.max_blocks, label=label,
+                blocks_committed=stats.blocks_committed,
+                cycle=self._prev_commit, window=tuple(self._commit_times))
+        if self.max_cycles is not None \
+                and self._prev_commit >= self.max_cycles:
+            raise SimulationBudgetExceeded(
+                kind="cycle", budget=self.max_cycles, label=label,
+                blocks_committed=stats.blocks_committed,
+                cycle=self._prev_commit, window=tuple(self._commit_times))
+        if self._wall_start is not None \
+                and stats.blocks_committed % 64 == 0:
+            elapsed = time.monotonic() - self._wall_start
+            if elapsed > self.max_wall_seconds:
+                raise SimulationBudgetExceeded(
+                    kind="wall-clock", budget=self.max_wall_seconds,
+                    label=label, blocks_committed=stats.blocks_committed,
+                    cycle=self._prev_commit,
+                    window=tuple(self._commit_times), elapsed=elapsed)
 
     def _predicate_arrival(self, label: str, index: int, actual: int,
                            arrive: int, dispatched: int) -> int:
@@ -732,12 +774,21 @@ def run_cycles(lowered: LoweredProgram, entry: str = "main",
                args: Optional[List[object]] = None,
                config: Optional[TripsConfig] = None,
                memory_size: int = 16 * 1024 * 1024,
-               tracer=None):
+               tracer=None, max_blocks: int = 2_000_000,
+               max_cycles: Optional[int] = None,
+               max_wall_seconds: Optional[float] = None):
     """One-shot convenience: returns (result, simulator).
 
     ``tracer`` (a :class:`repro.trace.Tracer`) enables per-cycle event
-    tracing; timing is identical with or without it.
+    tracing; timing is identical with or without it.  ``max_blocks`` /
+    ``max_cycles`` / ``max_wall_seconds`` are watchdog budgets — a
+    runaway simulation raises
+    :class:`~repro.robust.SimulationBudgetExceeded` with the current
+    block label, committed block count, cycle, and window state.
     """
-    simulator = CycleSimulator(lowered, config, memory_size, tracer=tracer)
+    simulator = CycleSimulator(lowered, config, memory_size,
+                               max_blocks=max_blocks, tracer=tracer,
+                               max_cycles=max_cycles,
+                               max_wall_seconds=max_wall_seconds)
     result = simulator.run(entry, args)
     return result, simulator

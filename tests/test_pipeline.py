@@ -75,7 +75,7 @@ class TestArtifactStore:
         found, value = store.load("stage", "cd" * 32)
         assert not found and value is None
 
-    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         store = ArtifactStore(tmp_path)
         digest = "ef" * 32
         store.store("stage", digest, [1, 2, 3])
@@ -84,6 +84,13 @@ class TestArtifactStore:
         found, _ = store.load("stage", digest)
         assert not found
         assert not path.exists()
+        # Not silently destroyed: moved aside with an incident record.
+        moved = store.quarantine_root / "stage" / path.name
+        assert moved.exists()
+        assert len(store.incidents) == 1
+        assert store.incidents[0].digest == digest
+        records = store.list_incidents()
+        assert len(records) == 1 and records[0]["stage"] == "stage"
 
     def test_clear(self, tmp_path):
         store = ArtifactStore(tmp_path)
