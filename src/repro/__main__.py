@@ -21,6 +21,14 @@ Subcommands:
   artifacts under an injected ``--faults`` plan, then verify and heal
   the cache; prints the run report and any quarantine incidents
   (``docs/ROBUSTNESS.md`` documents the plan format and semantics).
+* ``sweep SPEC`` — design-space exploration: expand a declarative
+  sweep spec (named preset or JSON/TOML file) into a validated grid of
+  design points, simulate them under supervision (``--jobs N``,
+  cache-resumable, failed points become annotated holes), and write
+  per-point JSONL, a per-axis sensitivity table, a Pareto frontier
+  CSV, and a markdown summary (``docs/SWEEP.md``).
+* ``frontier SWEEP_DIR`` — re-analyze a finished sweep directory:
+  print the (IPC, cost) Pareto frontier without re-simulating.
 
 Pipeline options (on ``run``, ``asm``, and ``report``):
 
@@ -72,10 +80,50 @@ def _cmd_run(args, runner) -> int:
         return 1
 
 
+def _config_overrides(args):
+    """``--config KEY=VALUE`` overrides, validated for the target system.
+
+    Returns ``(config, ideal_params)``: a :class:`TripsConfig` (or
+    ``None``) for ``cycles``, a ``(window, dispatch_cost)`` pair (or
+    ``None``) for ``ideal``.  Parsed through the sweep spec validator
+    (:mod:`repro.explore.spec`) so single-point what-if runs and sweeps
+    share one override code path.
+    """
+    from repro.explore.spec import IDEAL_AXES, SpecError, parse_overrides
+
+    items = getattr(args, "config", None)
+    if not items:
+        return None, None
+    system = args.system
+    if system not in ("cycles", "ideal"):
+        raise SpecError(
+            f"--config only applies to --system cycles or ideal "
+            f"(got {system!r})")
+    if system == "ideal":
+        overrides = parse_overrides(items, system="ideal")
+        return None, (overrides.get("window", IDEAL_AXES["window"][0]),
+                      overrides.get("dispatch_cost",
+                                    IDEAL_AXES["dispatch_cost"][0]))
+    from repro.uarch.config import ConfigError, TripsConfig
+
+    overrides = parse_overrides(items, system="cycles")
+    try:
+        return TripsConfig(**overrides).validate(), None
+    except ConfigError as exc:
+        raise SpecError(str(exc)) from None
+
+
 def _run_system(args, runner) -> int:
+    from repro.explore.spec import SpecError
+
     name = args.benchmark
     variant = args.variant
     system = args.system
+    try:
+        config, ideal_params = _config_overrides(args)
+    except SpecError as exc:
+        print(f"bad --config override: {exc}", file=sys.stderr)
+        return 2
     golden = runner.expected(name)
     print(f"{name} ({system}, {variant}): golden checksum {golden}")
 
@@ -101,9 +149,9 @@ def _run_system(args, runner) -> int:
     elif system == "cycles":
         if args.uarch_trace:
             stats, sim = _traced_cycles(runner, name, variant,
-                                        args.uarch_trace)
+                                        args.uarch_trace, config)
         else:
-            stats, sim = runner.trips_cycles(name, variant)
+            stats, sim = runner.trips_cycles(name, variant, config)
         print(f"{stats.cycles} cycles, IPC {stats.ipc:.2f} "
               f"(useful {stats.useful_ipc:.2f}); "
               f"{stats.avg_instructions_in_window:.0f} instructions in "
@@ -112,10 +160,18 @@ def _run_system(args, runner) -> int:
               f"{stats.icache_misses} I-cache misses, "
               f"{stats.load_flushes} load flushes")
     elif system == "ideal":
-        stats = runner.ideal(name, variant)
-        big = runner.ideal(name, variant, window=128 * 1024, dispatch_cost=0)
-        print(f"ideal 1K/8-cycle dispatch: {stats.cycles} cycles, "
-              f"IPC {stats.ipc:.2f}; ideal 128K/0: IPC {big.ipc:.2f}")
+        if ideal_params is not None:
+            window, dispatch_cost = ideal_params
+            stats = runner.ideal(name, variant, window=window,
+                                 dispatch_cost=dispatch_cost)
+            print(f"ideal {window}/{dispatch_cost}-cycle dispatch: "
+                  f"{stats.cycles} cycles, IPC {stats.ipc:.2f}")
+        else:
+            stats = runner.ideal(name, variant)
+            big = runner.ideal(name, variant, window=128 * 1024,
+                               dispatch_cost=0)
+            print(f"ideal 1K/8-cycle dispatch: {stats.cycles} cycles, "
+                  f"IPC {stats.ipc:.2f}; ideal 128K/0: IPC {big.ipc:.2f}")
     elif system in ("core2", "p4", "p3"):
         level = "ICC" if args.icc else "O2"
         stats = runner.platform(name, system, level)
@@ -128,7 +184,8 @@ def _run_system(args, runner) -> int:
     return 0
 
 
-def _traced_cycles(runner, name: str, variant: str, out_path: str):
+def _traced_cycles(runner, name: str, variant: str, out_path: str,
+                   config=None):
     """Live cycle-level run with tracing; writes the compact stream.
 
     Bypasses the ``trips-cycles`` artifact cache (the raw event stream
@@ -142,7 +199,7 @@ def _traced_cycles(runner, name: str, variant: str, out_path: str):
 
     lowered = runner.trips_lowered(name, variant)
     tracer = CollectingTracer()
-    result, sim = run_cycles(lowered, tracer=tracer)
+    result, sim = run_cycles(lowered, config=config, tracer=tracer)
     runner.pipeline.check(name, result, f"uarch-trace/{variant}")
     count = write_compact(tracer.events, out_path)
     print(f"wrote {count} events to {out_path}", file=_sys.stderr)
@@ -297,6 +354,122 @@ def _cmd_chaos(args, runner) -> int:
     return 0 if report.ok else 1
 
 
+def _resolve_sweep_spec(args):
+    """The validated spec of a ``sweep`` invocation (preset name or
+    JSON/TOML file), with ``--points`` / ``--benchmarks`` applied."""
+    from repro.explore import load_spec, preset_names, preset_spec
+    from repro.explore.spec import SpecError, parse_axis_points
+
+    if args.spec is None:
+        raise SpecError(
+            f"no sweep spec given (presets: {', '.join(preset_names())}, "
+            f"or a .json/.toml file)")
+    if args.spec in preset_names():
+        spec = preset_spec(args.spec)
+    else:
+        spec = load_spec(args.spec)
+    if args.points:
+        spec = spec.with_axes(parse_axis_points(args.points, spec.system))
+    if args.benchmarks:
+        names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+        spec = spec.with_benchmarks(names)
+    return spec
+
+
+def _cmd_sweep(args, runner) -> int:
+    from pathlib import Path
+
+    from repro.explore import expand, preset_names, preset_spec, run_sweep
+    from repro.explore.spec import SpecError
+    from repro.robust import FaultPlan, RetryPolicy
+
+    if args.list_presets:
+        for name in preset_names():
+            spec = preset_spec(name)
+            print(f"{name:18s} {spec.point_count():4d} points  "
+                  f"{spec.description}")
+        return 0
+    if runner.pipeline.store is None:
+        print("sweep requires the artifact cache "
+              "(drop --no-cache / REPRO_CACHE=0)", file=sys.stderr)
+        return 2
+    try:
+        spec = _resolve_sweep_spec(args)
+        points = expand(spec)
+    except SpecError as exc:
+        print(f"bad sweep spec: {exc}", file=sys.stderr)
+        return 2
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultPlan.parse(args.faults, seed=args.seed)
+        except ValueError as exc:
+            print(f"bad --faults plan: {exc}", file=sys.stderr)
+            return 2
+
+    out_dir = Path(args.out) if args.out else Path("sweeps") / spec.name
+    print(f"sweep {spec.name}: {len(points)} points over "
+          f"{len(spec.benchmarks)} benchmark(s) x "
+          f"{' x '.join(f'{name}[{len(values)}]' for name, values in spec.axes)}"
+          f", jobs={args.jobs}", file=sys.stderr)
+    result = run_sweep(
+        spec, cache_dir=runner.pipeline.store.base, out_dir=out_dir,
+        jobs=args.jobs,
+        policy=RetryPolicy(max_attempts=args.retries + 1,
+                           seed=args.seed if args.faults else 0),
+        stage_timeout=args.stage_timeout, faults=faults,
+        telemetry=runner.pipeline.telemetry,
+        progress=lambda label: print(f"done {label}", file=sys.stderr))
+
+    print(result.summary_line())
+    names = ", ".join(sorted(p.name for p in result.artifacts.values()))
+    print(f"wrote {result.out_dir}/{{{names}}}")
+    if result.report.eventful:
+        print(result.report.render())
+    return 0 if result.ok else 1
+
+
+def _cmd_frontier(args, _runner) -> int:
+    from repro.explore.analyze import (
+        aggregate_configs, load_points, load_spec_json, pareto_frontier,
+        sensitivity_rows,
+    )
+    from repro.eval.report import format_table
+
+    try:
+        records = load_points(args.sweep_dir)
+        spec = load_spec_json(args.sweep_dir)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rows = pareto_frontier(aggregate_configs(records))
+    axes = sorted({name for row in rows for name in row["settings"]})
+    headers = axes + ["cost", "IPC", "holes", "frontier"]
+    table_rows = [
+        [row["settings"].get(a, "") for a in axes]
+        + [row["cost"], round(row["ipc_geomean"], 3), row["holes"],
+           "*" if row["on_frontier"] else ""]
+        for row in rows]
+    print(format_table(
+        f"Pareto frontier — sweep {spec.name!r} ({len(records)} points)",
+        headers, table_rows,
+        "cost = window slots x ETs (cycles) or window (ideal); "
+        "* = on the (IPC, cost) frontier."))
+    print()
+    base_rows = sensitivity_rows(spec, records)
+    if base_rows:
+        headers = ["axis", "value", "IPC", "delta", "delta %"]
+        table = [[r["axis"],
+                  f"{r['value']}{' *' if r['baseline'] else ''}",
+                  round(r["ipc_geomean"], 3),
+                  f"{r['delta_ipc']:+.3f}", f"{r['delta_pct']:+.1f}"]
+                 for r in base_rows]
+        print(format_table(
+            "Per-axis sensitivity (other axes at baseline)",
+            headers, table, "* = baseline value."))
+    return 0
+
+
 def _add_robust_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--retries", type=int, default=2, metavar="N",
                         help="worker attempts per benchmark unit beyond the "
@@ -341,6 +514,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --system cycles: run live with event "
                             "tracing and write the compact stream to FILE "
                             "(see docs/TRACE.md)")
+    run_p.add_argument("--config", action="append", default=None,
+                       metavar="KEY=VALUE[,KEY=VALUE]",
+                       help="override TripsConfig fields (--system cycles) "
+                            "or window/dispatch_cost (--system ideal); "
+                            "validated like a sweep spec (docs/SWEEP.md)")
     _add_pipeline_options(run_p)
 
     trace_p = sub.add_parser(
@@ -393,6 +571,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seed for the fault plan and retry backoff")
     _add_robust_options(chaos_p)
     _add_pipeline_options(chaos_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a declarative design-space sweep")
+    sweep_p.add_argument("spec", nargs="?", default=None,
+                         help="preset name or JSON/TOML spec file "
+                              "(see docs/SWEEP.md)")
+    sweep_p.add_argument("--list-presets", action="store_true",
+                         help="list the built-in sweep presets")
+    sweep_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="simulate points with N worker processes")
+    sweep_p.add_argument("--points", action="append", default=None,
+                         metavar="AXIS=V1,V2",
+                         help="restrict or add an axis to the listed "
+                              "values (repeatable)")
+    sweep_p.add_argument("--benchmarks", default=None, metavar="A,B",
+                         help="restrict the sweep to these benchmarks")
+    sweep_p.add_argument("--out", default=None, metavar="DIR",
+                         help="artifact directory (default sweeps/<name>)")
+    sweep_p.add_argument("--faults", default=None, metavar="PLAN",
+                         help="inject a deterministic fault plan "
+                              "(docs/ROBUSTNESS.md syntax)")
+    sweep_p.add_argument("--seed", type=int, default=0, metavar="N",
+                         help="seed for the fault plan and retry backoff")
+    _add_robust_options(sweep_p)
+    _add_pipeline_options(sweep_p)
+
+    frontier_p = sub.add_parser(
+        "frontier", help="Pareto frontier and sensitivity of a sweep")
+    frontier_p.add_argument("sweep_dir",
+                            help="a sweep's --out directory")
     return parser
 
 
@@ -415,8 +623,10 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
                "asm": _cmd_asm, "report": _cmd_report,
-               "chaos": _cmd_chaos}[args.command]
-    runner = _make_runner(args) if args.command != "list" else None
+               "chaos": _cmd_chaos, "sweep": _cmd_sweep,
+               "frontier": _cmd_frontier}[args.command]
+    runner = _make_runner(args) \
+        if args.command not in ("list", "frontier") else None
     try:
         return handler(args, runner)
     finally:

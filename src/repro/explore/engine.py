@@ -1,0 +1,198 @@
+"""Sweep execution engine: design points -> cached, supervised runs.
+
+Each design point is one *unit* of the generic fan-out supervisor
+(:func:`repro.robust.supervise.supervise_units`) and resolves through
+the content-addressed pipeline (:mod:`repro.pipeline`), which gives the
+engine its two headline properties for free:
+
+* **Resumability** — a point's artifact is keyed by the full
+  configuration digest, so re-running a sweep after editing one axis
+  only simulates the new points; an unchanged sweep is a 100% cache
+  hit (0 simulations).  The default point's key is *identical* to a
+  plain ``repro run`` of the same benchmark, so sweep results and
+  single runs can never drift apart.
+* **Fault tolerance** — worker crashes, hangs, and injected faults are
+  retried, degraded to in-process execution, and finally recorded as
+  annotated *holes* in the results (never an aborted sweep), with the
+  whole story in the sweep's :class:`~repro.robust.RunReport`.
+
+Execution is the same two-phase shape as ``report all``: workers warm
+the shared on-disk store (one point per task), then the parent process
+collects every artifact — all disk hits — into per-point records for
+the analysis layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.explore.analyze import write_artifacts
+from repro.explore.grid import DesignPoint, expand
+from repro.explore.spec import SweepSpec
+from repro.pipeline.core import Pipeline
+from repro.pipeline.observe import Telemetry
+from repro.robust import (
+    FAILED, FaultPlan, RetryPolicy, RunReport, apply_unit_faults,
+    supervise_units,
+)
+from repro.uarch.config import TripsConfig
+
+__all__ = ["SweepResult", "run_sweep", "warm_point"]
+
+#: Pipeline stages whose computes count as "simulations" in the sweep
+#: summary (the CI smoke job asserts the warm rerun reports zero).
+POINT_STAGES = ("trips-cycles", "ideal")
+
+
+def _point_artifact(pipeline: Pipeline, payload: Dict[str, Any]):
+    """Resolve one point's artifact through the pipeline (cache-aware)."""
+    if payload["system"] == "cycles":
+        config = TripsConfig(**payload["settings"]).validate()
+        return pipeline.trips_cycles(payload["benchmark"],
+                                     payload["variant"], config)
+    window = payload["settings"].get("window", 1024)
+    dispatch_cost = payload["settings"].get("dispatch_cost", 8)
+    return pipeline.ideal(payload["benchmark"], payload["variant"],
+                          window, dispatch_cost)
+
+
+def warm_point(payload: Dict[str, Any], cache_dir: str,
+               faults: Optional[FaultPlan] = None, attempt: int = 0,
+               in_worker: bool = False) -> Dict[str, Dict[str, float]]:
+    """Compute one design point's artifact into ``cache_dir``.
+
+    Module-level and picklable: runs in pool workers and in the
+    in-process degrade path alike.  Returns the telemetry counters so
+    the parent can fold them into the sweep profile.
+    """
+    apply_unit_faults(faults, payload["label"], attempt, in_worker)
+    pipeline = Pipeline(cache_dir=cache_dir, fault_plan=faults,
+                        fault_attempt=attempt)
+    _point_artifact(pipeline, payload)
+    return pipeline.telemetry.as_dict()
+
+
+def _metrics(system: str, artifact) -> Dict[str, Any]:
+    """The per-point metric record the analysis layer consumes."""
+    if system == "cycles":
+        stats = artifact.stats
+        return {
+            "cycles": stats.cycles, "ipc": stats.ipc,
+            "useful_ipc": stats.useful_ipc,
+            "executed": stats.executed, "useful": stats.useful,
+            "blocks_committed": stats.blocks_committed,
+            "branch_mispredictions": stats.branch_mispredictions,
+            "icache_misses": stats.icache_misses,
+            "load_flushes": stats.load_flushes,
+            "avg_window_insts": stats.avg_instructions_in_window,
+            "l1d_miss_rate": artifact.l1d.miss_rate,
+            "avg_opn_hops": artifact.opn_stats.average_hops(),
+        }
+    return {"cycles": artifact.cycles, "ipc": artifact.ipc,
+            "executed": artifact.executed, "blocks": artifact.blocks}
+
+
+@dataclass
+class SweepResult:
+    """Everything ``repro sweep`` reports about one invocation."""
+
+    spec: SweepSpec
+    points: List[DesignPoint]
+    records: List[Dict[str, Any]]
+    report: RunReport
+    out_dir: Path
+    artifacts: Dict[str, Path] = field(default_factory=dict)
+    simulated: int = 0
+    reused: int = 0
+    seconds: float = 0.0
+
+    @property
+    def holes(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["status"] != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.holes
+
+    def summary_line(self) -> str:
+        return (f"sweep {self.spec.name}: {len(self.records)} points — "
+                f"{len(self.records) - len(self.holes)} ok, "
+                f"{len(self.holes)} holes; simulations: "
+                f"{self.simulated} computed, {self.reused} reused from "
+                f"cache; {self.seconds:.1f}s")
+
+
+def run_sweep(spec: SweepSpec, cache_dir, out_dir,
+              jobs: int = 1,
+              policy: Optional[RetryPolicy] = None,
+              stage_timeout: Optional[float] = None,
+              faults: Optional[FaultPlan] = None,
+              telemetry: Optional[Telemetry] = None,
+              progress: Optional[Callable[[str], None]] = None,
+              sleep: Callable[[float], None] = time.sleep
+              ) -> SweepResult:
+    """Expand, execute, collect, and analyze one sweep.
+
+    ``cache_dir`` must be a real artifact store (sweeps are defined by
+    their resumability); ``out_dir`` receives the artifact set (see
+    :mod:`repro.explore.analyze`).  Failed points become annotated
+    holes; the function never raises for a point failure.
+    """
+    if cache_dir is None:
+        raise ValueError("sweeps require the artifact cache "
+                         "(drop --no-cache / REPRO_CACHE=0)")
+    started = time.perf_counter()
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    points = expand(spec)
+    payloads = {point.label: point.payload() for point in points}
+    cache_dir = str(cache_dir)
+    report = RunReport()
+
+    def submit(pool, label: str, attempt: int):
+        return pool.submit(warm_point, payloads[label], cache_dir,
+                           faults, attempt, True)
+
+    def run_inline(label: str, attempt: int):
+        return warm_point(payloads[label], cache_dir, faults, attempt,
+                          False)
+
+    supervise_units([point.label for point in points], submit, run_inline,
+                    jobs=jobs, policy=policy, stage_timeout=stage_timeout,
+                    telemetry=telemetry, report=report, progress=progress,
+                    sleep=sleep)
+
+    # Collect phase: every warmed artifact is a disk hit in this
+    # process; failed units become holes instead of recompute attempts.
+    collector = Pipeline(cache_dir=cache_dir)
+    records: List[Dict[str, Any]] = []
+    for point in points:
+        record = point.payload()
+        outcome = report.units.get(point.label)
+        if outcome is not None and outcome.status == FAILED:
+            record["status"] = "failed"
+            record["error"] = outcome.causes[-1] if outcome.causes \
+                else "failed"
+            record["metrics"] = None
+            report.annotate(f"hole: {point.label}: {record['error']}")
+        else:
+            artifact = _point_artifact(collector, record)
+            record["status"] = "ok"
+            record["metrics"] = _metrics(point.system, artifact)
+            record["error"] = None
+        records.append(record)
+    telemetry.merge(collector.telemetry)
+
+    simulated = telemetry.computes(POINT_STAGES)
+    ok_count = sum(1 for r in records if r["status"] == "ok")
+    result = SweepResult(
+        spec=spec, points=points, records=records, report=report,
+        out_dir=Path(out_dir), simulated=simulated,
+        reused=max(0, ok_count - simulated),
+        seconds=time.perf_counter() - started)
+    result.artifacts = write_artifacts(
+        out_dir, spec, records, report.as_dict(), result.simulated,
+        result.reused)
+    return result

@@ -266,7 +266,7 @@ class Pipeline:
                 l2=l2,
                 dram_accesses=sim.hierarchy.dram.accesses)
 
-        key = (name, variant, config_digest(config))
+        key = (name, variant, config_digest(config, TripsConfig))
         return self._materialize("trips-cycles", key, compute, persist=True)
 
     def ideal(self, name: str, variant: str = "compiled",
@@ -306,7 +306,7 @@ class Pipeline:
             return summarize(tracer.events, sim.stats.cycles,
                              buckets=resolution)
 
-        key = (name, variant, config_digest(config), resolution)
+        key = (name, variant, config_digest(config, _Config), resolution)
         return self._materialize("trace-summary", key, compute, persist=True)
 
     def block_trace(self, name: str, variant: str = "compiled",

@@ -53,15 +53,28 @@ def stable_digest(value: Any) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def config_digest(config: Optional[Any]) -> str:
-    """Short digest of a configuration dataclass (``None`` = defaults).
+def config_digest(config: Optional[Any],
+                  default_factory: Optional[Any] = None) -> str:
+    """Short digest of a configuration dataclass.
 
     Used to memoize cycle-level runs under custom :class:`TripsConfig`
     instances: equal configurations share one cache slot even when the
-    caller builds a fresh object each time.
+    caller builds a fresh object each time.  The digest covers the
+    *full* dataclass field set (via :func:`canonicalize`), so digest
+    equality is equivalent to config equality and a newly added field
+    changes every digest.
+
+    ``config=None`` digests ``default_factory()`` when a factory is
+    given — the caller's default configuration — so explicit-default
+    and implicit-default runs share one cache slot *and* the "default"
+    key still moves when a new field is added.  Without a factory,
+    ``None`` keeps the literal ``"default"`` key (config-independent
+    stages such as ``bandwidth``).
     """
     if config is None:
-        return "default"
+        if default_factory is None:
+            return "default"
+        config = default_factory()
     return stable_digest(config)[:16]
 
 

@@ -18,6 +18,9 @@ Four pieces, each usable on its own:
   ledger every ``report``/``run`` invocation fills in.
 * :mod:`repro.robust.faults` — :class:`FaultPlan`, the deterministic
   fault-injection harness behind ``repro chaos`` and the chaos tests.
+* :mod:`repro.robust.supervise` — :func:`supervise_units`, the generic
+  supervised process-pool fan-out shared by the ``report`` warm phase
+  and the ``repro.explore`` sweep engine.
 
 See ``docs/ROBUSTNESS.md`` for the full semantics.
 """
@@ -34,6 +37,7 @@ from repro.robust.report import (
     COMPLETED, DEGRADED, FAILED, RETRIED, RunReport, UnitOutcome,
 )
 from repro.robust.retry import RetryPolicy, call_with_retry
+from repro.robust.supervise import replace_pool, supervise_units
 
 __all__ = [
     "COMPLETED",
@@ -57,4 +61,6 @@ __all__ = [
     "apply_unit_faults",
     "call_with_retry",
     "maybe_corrupt",
+    "replace_pool",
+    "supervise_units",
 ]

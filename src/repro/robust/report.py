@@ -39,6 +39,11 @@ class UnitOutcome:
     causes: List[str] = field(default_factory=list)
     note: str = ""
 
+    def as_dict(self) -> Dict[str, object]:
+        return {"unit": self.unit, "status": self.status,
+                "attempts": self.attempts, "causes": list(self.causes),
+                "note": self.note}
+
 
 class RunReport:
     """Aggregates :class:`UnitOutcome` records across one invocation."""
@@ -102,6 +107,20 @@ class RunReport:
         """True when there is anything worth printing beyond 'all good'."""
         return bool(self.annotations) or any(
             o.status != COMPLETED for o in self.units.values())
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (persisted as a sweep's ``report.json``
+        so a resumed or audited sweep can see exactly what happened)."""
+        return {
+            "units": [o.as_dict() for o in sorted(
+                self.units.values(), key=lambda o: o.unit)],
+            "annotations": list(self.annotations),
+            "counts": {s: len(self.by_status(s)) for s in
+                       (COMPLETED, RETRIED, DEGRADED, FAILED)},
+            "ok": self.ok,
+        }
 
     # -- rendering ---------------------------------------------------------
 

@@ -5,7 +5,9 @@ from repro.uarch.caches import (
     CacheStats, DramModel, L1DataBanks, L1InstructionCache,
     MemoryHierarchy, NucaL2, SetAssociativeCache,
 )
-from repro.uarch.config import PROTOTYPE, TripsConfig, improved_predictor_config
+from repro.uarch.config import (
+    ConfigError, PROTOTYPE, TripsConfig, improved_predictor_config,
+)
 from repro.robust.errors import SimulationBudgetExceeded
 from repro.uarch.core import CycleSimulator, CycleStats, run_cycles
 from repro.uarch.ideal import IdealSimulator, IdealStats, run_ideal
@@ -20,6 +22,7 @@ from repro.uarch.predictor import (
 __all__ = [
     "AlphaTournamentPredictor",
     "CacheStats",
+    "ConfigError",
     "CycleSimulator",
     "CycleStats",
     "DramModel",

@@ -10,7 +10,31 @@ predictor budgets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+
+class ConfigError(ValueError):
+    """A :class:`TripsConfig` describes an unbuildable machine.
+
+    Raised by :meth:`TripsConfig.validate` — and therefore by every
+    simulator entry point — *before* any simulation runs, so a typo'd
+    or out-of-domain field can never silently produce nonsense cycle
+    counts.
+    """
+
+
+#: Fields that are latencies/penalties: zero is a legal (free) value.
+_NON_NEGATIVE_FIELDS = frozenset({
+    "fetch_to_dispatch_cycles", "commit_protocol_cycles",
+    "mispredict_flush_cycles", "load_violation_flush_cycles",
+    "opn_hop_cycles", "local_bypass_cycles", "l1d_hit_cycles",
+    "l1i_hit_cycles", "l2_base_cycles", "l2_hop_cycles", "dram_cycles",
+    "dram_occupancy_cycles", "predicate_mispredict_cycles",
+})
+
+#: Cache line sizes must be powers of two (address/alignment math).
+_POWER_OF_TWO_FIELDS = ("l1d_line_bytes", "l1i_line_bytes",
+                        "l2_line_bytes")
 
 
 @dataclass
@@ -109,6 +133,58 @@ class TripsConfig:
     trace_occupancy_buckets: int = 48
 
     clock_mhz: int = 366
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> "TripsConfig":
+        """Check every field's type and domain; returns ``self``.
+
+        Raises :class:`ConfigError` listing *all* problems at once:
+        wrong field types (a stringly-typed override that slipped
+        through), non-positive structural counts,
+        ``max_blocks_in_flight < 1``, negative latencies, non-power-of-
+        two cache lines, and cache capacities that do not divide into
+        whole sets.  Called from the simulator entry points so a bad
+        configuration fails fast instead of producing nonsense cycle
+        counts.
+        """
+        problems = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.type == "bool":
+                if not isinstance(value, bool):
+                    problems.append(
+                        f"{f.name} must be a bool, got {value!r}")
+                continue
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(
+                    f"{f.name} must be an int, got {value!r}")
+                continue
+            floor = 0 if f.name in _NON_NEGATIVE_FIELDS else 1
+            if value < floor:
+                problems.append(
+                    f"{f.name} must be >= {floor}, got {value}")
+        if not problems:
+            for name in _POWER_OF_TWO_FIELDS:
+                value = getattr(self, name)
+                if value & (value - 1):
+                    problems.append(
+                        f"{name} must be a power of two, got {value}")
+            for capacity, line, assoc in (
+                    ("l1d_bank_bytes", self.l1d_line_bytes, self.l1d_assoc),
+                    ("l1i_bytes", self.l1i_line_bytes, self.l1i_assoc),
+                    ("l2_bank_bytes", self.l2_line_bytes, self.l2_assoc)):
+                size = getattr(self, capacity)
+                if size % (line * assoc) != 0:
+                    problems.append(
+                        f"{capacity}={size} is not a whole number of "
+                        f"{assoc}-way sets of {line}-byte lines")
+        if problems:
+            raise ConfigError(
+                f"invalid TripsConfig: {'; '.join(problems)}")
+        return self
 
 
 #: The prototype configuration used throughout the evaluation.

@@ -138,7 +138,7 @@ class CycleSimulator:
                  max_wall_seconds: Optional[float] = None) -> None:
         self.lowered = lowered
         self.program: TripsProgram = lowered.program
-        self.config = config or TripsConfig()
+        self.config = (config or TripsConfig()).validate()
         self.memory = Memory(memory_size)
         #: Optional :class:`repro.trace.Tracer`.  Every emission site is
         #: guarded with ``is not None`` and no timing decision reads the

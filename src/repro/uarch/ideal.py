@@ -55,6 +55,16 @@ class IdealSimulator:
                  dispatch_cost: int = 8,
                  memory_size: int = 16 * 1024 * 1024,
                  max_blocks: int = 2_000_000) -> None:
+        from repro.uarch.config import ConfigError
+        if not isinstance(window, int) or isinstance(window, bool) \
+                or window < 1:
+            raise ConfigError(
+                f"ideal window must be an int >= 1, got {window!r}")
+        if not isinstance(dispatch_cost, int) \
+                or isinstance(dispatch_cost, bool) or dispatch_cost < 0:
+            raise ConfigError(
+                f"ideal dispatch_cost must be an int >= 0, got "
+                f"{dispatch_cost!r}")
         self.program = program
         self.window = window
         self.dispatch_cost = dispatch_cost

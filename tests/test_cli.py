@@ -146,6 +146,81 @@ class TestReport:
         assert "--jobs" in capsys.readouterr().err
 
 
+class TestConfigOverride:
+    def test_config_changes_cycles(self, cache_dir, capsys):
+        assert main(["run", "vadd", "--system", "cycles",
+                     "--cache-dir", cache_dir]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["run", "vadd", "--system", "cycles",
+                     "--config", "max_blocks_in_flight=1",
+                     "--cache-dir", cache_dir]) == 0
+        shallow = capsys.readouterr().out
+        assert "golden checksum" in shallow
+        assert shallow != baseline
+
+    def test_config_drives_ideal_point(self, cache_dir, capsys):
+        assert main(["run", "vadd", "--system", "ideal",
+                     "--config", "window=256,dispatch_cost=0",
+                     "--cache-dir", cache_dir]) == 0
+        assert "ideal 256/0-cycle dispatch" in capsys.readouterr().out
+
+    def test_bad_config_key_suggests_and_exits_2(self, cache_dir, capsys):
+        assert main(["run", "vadd", "--system", "cycles",
+                     "--config", "max_blocks=1",
+                     "--cache-dir", cache_dir]) == 2
+        err = capsys.readouterr().err
+        assert "bad --config override" in err
+        assert "max_blocks_in_flight" in err
+
+    def test_out_of_domain_config_exits_2(self, cache_dir, capsys):
+        assert main(["run", "vadd", "--system", "cycles",
+                     "--config", "max_blocks_in_flight=0",
+                     "--cache-dir", cache_dir]) == 2
+        assert "max_blocks_in_flight" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_list_presets(self, capsys):
+        assert main(["sweep", "--list-presets", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        for name in ("speculation-depth", "ideal-ilp",
+                     "predictor-budget", "smoke"):
+            assert name in out
+
+    def test_sweep_requires_cache(self, capsys):
+        assert main(["sweep", "smoke", "--no-cache"]) == 2
+        assert "cache" in capsys.readouterr().err
+
+    def test_bad_spec_exits_2(self, cache_dir, capsys):
+        assert main(["sweep", "not-a-preset.json",
+                     "--cache-dir", cache_dir]) == 2
+        assert "bad sweep spec" in capsys.readouterr().err
+
+    def test_smoke_sweep_then_frontier(self, cache_dir, tmp_path, capsys):
+        out_dir = tmp_path / "sweep-out"
+        argv = ["sweep", "smoke", "--points", "max_blocks_in_flight=1,8",
+                "--benchmarks", "crc", "--out", str(out_dir),
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep smoke: 2 points — 2 ok, 0 holes" in out
+        for name in ("points.jsonl", "frontier.csv", "sensitivity.csv",
+                     "summary.md", "report.json", "spec.json"):
+            assert (out_dir / name).stat().st_size > 0
+
+        # Warm rerun: the cache makes the sweep a no-op.
+        assert main(argv) == 0
+        assert "simulations: 0 computed" in capsys.readouterr().out
+
+        assert main(["frontier", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out and "sensitivity" in out
+
+    def test_frontier_on_missing_dir_exits_2(self, tmp_path, capsys):
+        assert main(["frontier", str(tmp_path / "nope")]) == 2
+        assert "not a sweep directory" in capsys.readouterr().err
+
+
 class TestSubprocessSmoke:
     def _run(self, *argv):
         env = os.environ.copy()

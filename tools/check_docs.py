@@ -35,6 +35,10 @@ REPO = Path(__file__).resolve().parent.parent
 DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
 DOC_GLOBS = ("docs/*.md",)
 
+#: Reference docs that must exist (a rename or deletion without
+#: updating this registry is a CI failure, not a silent skip).
+REQUIRED_DOCS = ("docs/TRACE.md", "docs/ROBUSTNESS.md", "docs/SWEEP.md")
+
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _INLINE_FLAG = re.compile(r"`(--[A-Za-z][A-Za-z0-9-]*)")
 _CLI_FLAG = re.compile(r"(--[A-Za-z][A-Za-z0-9-]*)")
@@ -109,7 +113,9 @@ def main(argv: Iterable[str] = ()) -> int:
     from repro.__main__ import build_parser
 
     known = parser_flags(build_parser())
-    problems: List[str] = []
+    problems: List[str] = [
+        f"{name}: required document missing"
+        for name in REQUIRED_DOCS if not (REPO / name).exists()]
     for path in doc_paths():
         problems.extend(check_links(path))
         problems.extend(check_flags(path, known))
