@@ -29,6 +29,12 @@ Subcommands:
   CSV, and a markdown summary (``docs/SWEEP.md``).
 * ``frontier SWEEP_DIR`` — re-analyze a finished sweep directory:
   print the (IPC, cost) Pareto frontier without re-simulating.
+* ``perf run|compare|list`` — host-performance benchmark harness:
+  time the simulators' hot paths with calibrated repetition and write
+  a schema-versioned ``BENCH_<YYYYMMDD>.json``; compare two BENCH
+  files for regressions against warn/fail thresholds
+  (``docs/PERF.md`` documents the schema, the baseline workflow, and
+  the exit codes).
 
 Pipeline options (on ``run``, ``asm``, and ``report``):
 
@@ -470,6 +476,87 @@ def _cmd_frontier(args, _runner) -> int:
     return 0
 
 
+def _cmd_perf(args, _runner) -> int:
+    from repro import perf
+
+    if args.perf_command == "list":
+        for spec in perf.default_suite():
+            print(f"{spec.name:16s} [{spec.group}] {spec.description}")
+        return 0
+    if args.perf_command == "compare":
+        return _perf_compare(args)
+    return _perf_run(args)
+
+
+def _perf_run(args) -> int:
+    from repro import perf, runctx
+
+    try:
+        specs = perf.default_suite(
+            [n.strip() for n in args.only.split(",") if n.strip()]
+            if args.only else None)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    repeats = args.repeats if args.repeats is not None \
+        else (3 if args.quick else 7)
+    warmup = args.warmup if args.warmup is not None \
+        else (1 if args.quick else 2)
+
+    context = runctx.current()
+    print(f"perf run {context.run_id}: {len(specs)} benchmark(s), "
+          f"{warmup} warmup + {repeats} timed repeats"
+          f"{' (quick)' if args.quick else ''}", file=sys.stderr)
+    results = []
+    for spec in specs:
+        result = perf.measure(spec, repeats=repeats, warmup=warmup)
+        results.append(result)
+        print(f"  {result.name:16s} median {result.median_s * 1000:9.2f} ms"
+              f"  +-{result.mad_s * 1000:7.3f} ms MAD"
+              f"  (min {result.min_s * 1000:.2f}, "
+              f"rss {result.peak_rss_kb} KB)", file=sys.stderr)
+
+    payload = perf.bench_payload(results, quick=args.quick,
+                                 context=context)
+    path = perf.write_bench(payload, args.out)
+    print(f"wrote {path}")
+
+    if args.profile_hotspots:
+        from repro.eval.report import format_table
+        for spec in specs:
+            rows = perf.hotspots(spec, top=args.profile_hotspots)
+            print()
+            print(format_table(
+                f"Hotspots — {spec.name} (top {args.profile_hotspots} "
+                f"by cumulative time)",
+                ["calls", "tottime s", "cumtime s", "function"],
+                [[calls, f"{tot:.4f}", f"{cum:.4f}", where]
+                 for calls, tot, cum, where in rows],
+                "one profiled run; not comparable with the calibrated "
+                "medians above."))
+    return 0
+
+
+def _perf_compare(args) -> int:
+    from repro import perf
+
+    try:
+        base = perf.load_bench(args.base)
+        new = perf.load_bench(args.new)
+    except (OSError, ValueError) as exc:
+        print(f"perf compare: {exc}", file=sys.stderr)
+        return 2
+    rows = perf.compare_payloads(base, new, warn_pct=args.warn_pct,
+                                 fail_pct=args.fail_pct,
+                                 noise_mads=args.noise_mads)
+    print(perf.render_comparison(rows, str(args.base), str(args.new)))
+    code = perf.exit_code(rows)
+    verdict = {perf.EXIT_OK: "ok", perf.EXIT_WARN: "WARN",
+               perf.EXIT_REGRESSION: "REGRESSION"}[code]
+    print(f"\nverdict: {verdict} (exit {code})")
+    return code
+
+
 def _add_robust_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--retries", type=int, default=2, metavar="N",
                         help="worker attempts per benchmark unit beyond the "
@@ -601,6 +688,50 @@ def build_parser() -> argparse.ArgumentParser:
         "frontier", help="Pareto frontier and sensitivity of a sweep")
     frontier_p.add_argument("sweep_dir",
                             help="a sweep's --out directory")
+
+    perf_p = sub.add_parser(
+        "perf", help="host-performance benchmark harness")
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+
+    perf_run = perf_sub.add_parser(
+        "run", help="time the hot paths and write a BENCH_*.json")
+    perf_run.add_argument("--quick", action="store_true",
+                          help="reduced repeats (1 warmup + 3 timed) for "
+                               "smoke runs and CI")
+    perf_run.add_argument("--repeats", type=int, default=None, metavar="N",
+                          help="timed repeats per benchmark "
+                               "(default 7, or 3 with --quick)")
+    perf_run.add_argument("--warmup", type=int, default=None, metavar="N",
+                          help="untimed warmup iterations "
+                               "(default 2, or 1 with --quick)")
+    perf_run.add_argument("--only", default=None, metavar="A,B",
+                          help="run only the named benchmarks "
+                               "(see `perf list`)")
+    perf_run.add_argument("--out", default=None, metavar="FILE",
+                          help="output path (default BENCH_<YYYYMMDD>.json "
+                               "at the repo root)")
+    perf_run.add_argument("--profile-hotspots", type=int, default=0,
+                          metavar="K", nargs="?", const=10,
+                          help="also print the top-K cProfile cumulative "
+                               "hotspots per benchmark (default K=10)")
+
+    perf_cmp = perf_sub.add_parser(
+        "compare", help="regression verdicts between two BENCH files")
+    perf_cmp.add_argument("base", help="baseline BENCH file "
+                                       "(e.g. benchmarks/baseline.json)")
+    perf_cmp.add_argument("new", help="candidate BENCH file")
+    perf_cmp.add_argument("--warn-pct", type=float, default=10.0,
+                          metavar="PCT",
+                          help="median slowdown that warns (default 10)")
+    perf_cmp.add_argument("--fail-pct", type=float, default=20.0,
+                          metavar="PCT",
+                          help="median slowdown that fails (default 20)")
+    perf_cmp.add_argument("--noise-mads", type=float, default=3.0,
+                          metavar="K",
+                          help="deltas within K x MAD are ok regardless "
+                               "of percentage (default 3)")
+
+    perf_sub.add_parser("list", help="list the registered benchmarks")
     return parser
 
 
@@ -621,12 +752,17 @@ def _make_runner(args):
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # Mint (or adopt) the invocation's RunContext before any work: the
+    # id is exported to the environment here, so every pool worker and
+    # every stamped artifact of this invocation shares one run id.
+    from repro import runctx
+    runctx.current()
     handler = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
                "asm": _cmd_asm, "report": _cmd_report,
                "chaos": _cmd_chaos, "sweep": _cmd_sweep,
-               "frontier": _cmd_frontier}[args.command]
+               "frontier": _cmd_frontier, "perf": _cmd_perf}[args.command]
     runner = _make_runner(args) \
-        if args.command not in ("list", "frontier") else None
+        if args.command not in ("list", "frontier", "perf") else None
     try:
         return handler(args, runner)
     finally:

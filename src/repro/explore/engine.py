@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro import runctx
 from repro.explore.analyze import write_artifacts
 from repro.explore.grid import DesignPoint, expand
 from repro.explore.spec import SweepSpec
@@ -167,9 +168,14 @@ def run_sweep(spec: SweepSpec, cache_dir, out_dir,
     # Collect phase: every warmed artifact is a disk hit in this
     # process; failed units become holes instead of recompute attempts.
     collector = Pipeline(cache_dir=cache_dir)
+    run_id = runctx.current().run_id
     records: List[Dict[str, Any]] = []
     for point in points:
         record = point.payload()
+        # Every point record names the invocation that produced it, so
+        # a ``points.jsonl`` line correlates with the same run's trace
+        # JSONL, report.json, and BENCH files.
+        record["run_id"] = run_id
         outcome = report.units.get(point.label)
         if outcome is not None and outcome.status == FAILED:
             record["status"] = "failed"

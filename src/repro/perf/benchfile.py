@@ -1,0 +1,145 @@
+"""Schema-versioned ``BENCH_*.json`` result files.
+
+One ``repro perf run`` produces one JSON document::
+
+    {
+      "schema": 1,
+      "run":  {"run_id": ..., "git_sha": ..., "source_digest": ...,
+               "started": ...},
+      "host": {"platform": ..., "machine": ..., "python": ...,
+               "implementation": ..., "cpu_count": ...},
+      "quick": false,
+      "results": {
+        "cycle-sim": {"repeats": 7, "warmup": 2, "median_s": ...,
+                      "mad_s": ..., "min_s": ..., "max_s": ...,
+                      "mean_s": ..., "peak_rss_kb": ...,
+                      "samples_s": [...]},
+        ...
+      }
+    }
+
+The default filename is ``BENCH_<YYYYMMDD>.json`` at the repository
+root — the perf trajectory the ROADMAP's "as fast as the hardware
+allows" goal is judged against.  ``validate_bench`` is the schema
+contract: the committed ``benchmarks/baseline.json`` and every CI
+artifact must pass it, and ``repro perf compare`` refuses files that
+do not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import runctx
+from repro.perf.harness import BenchResult
+
+__all__ = ["BENCH_SCHEMA_VERSION", "bench_payload", "default_bench_path",
+           "host_fingerprint", "load_bench", "validate_bench",
+           "write_bench"]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Statistics every per-benchmark entry must carry.
+_REQUIRED_STATS = ("repeats", "warmup", "median_s", "mad_s", "min_s",
+                   "max_s", "mean_s", "peak_rss_kb")
+_REQUIRED_RUN = ("run_id", "git_sha", "source_digest", "started")
+_REQUIRED_HOST = ("platform", "machine", "python", "implementation",
+                  "cpu_count")
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """Enough host identity to judge whether two files are comparable."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def bench_payload(results: List[BenchResult], quick: bool = False,
+                  context: Optional[runctx.RunContext] = None
+                  ) -> Dict[str, object]:
+    """Assemble the BENCH document for one harness run."""
+    context = context or runctx.current()
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "run": context.stamp(),
+        "host": host_fingerprint(),
+        "quick": bool(quick),
+        "results": {r.name: r.as_dict() for r in results},
+    }
+
+
+def default_bench_path(root=None, when: Optional[float] = None) -> Path:
+    """``BENCH_<YYYYMMDD>.json`` at the repository root."""
+    if root is None:
+        import repro
+        root = Path(repro.__file__).resolve().parents[2]
+    day = time.strftime("%Y%m%d", time.localtime(when))
+    return Path(root) / f"BENCH_{day}.json"
+
+
+def write_bench(payload: Dict[str, object], path=None) -> Path:
+    """Validate and write one BENCH document; returns its path."""
+    problems = validate_bench(payload)
+    if problems:
+        raise ValueError("refusing to write invalid BENCH payload: "
+                         + "; ".join(problems))
+    path = Path(path) if path is not None else default_bench_path()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_bench(path) -> Dict[str, object]:
+    """Read and validate one BENCH file (raises on schema violations)."""
+    path = Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    problems = validate_bench(payload)
+    if problems:
+        raise ValueError(f"{path} is not a valid BENCH file: "
+                         + "; ".join(problems))
+    return payload
+
+
+def validate_bench(payload) -> List[str]:
+    """Schema check; returns problems (empty means valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, "
+            f"expected {BENCH_SCHEMA_VERSION}")
+    for section, keys in (("run", _REQUIRED_RUN), ("host", _REQUIRED_HOST)):
+        block = payload.get(section)
+        if not isinstance(block, dict):
+            problems.append(f"missing {section} section")
+            continue
+        for key in keys:
+            if key not in block:
+                problems.append(f"{section}.{key} missing")
+    results = payload.get("results")
+    if not isinstance(results, dict) or not results:
+        problems.append("results section missing or empty")
+        return problems
+    for name, stats in results.items():
+        if not isinstance(stats, dict):
+            problems.append(f"results.{name} is not an object")
+            continue
+        for key in _REQUIRED_STATS:
+            value = stats.get(key)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                problems.append(f"results.{name}.{key} missing or "
+                                f"non-numeric")
+            elif key == "median_s" and value < 0:
+                problems.append(f"results.{name}.median_s is negative")
+    return problems

@@ -1,0 +1,129 @@
+"""Regression comparison between two BENCH files.
+
+``repro perf compare BASE NEW`` judges every benchmark present in both
+files by its **median** slowdown, with a noise guard so the verdict is
+about the code and not the host's mood:
+
+* a delta within ``noise_mads`` x max(MAD(base), MAD(new)) of zero is
+  ``ok`` regardless of its percentage (small medians make huge
+  percentages out of scheduler jitter);
+* otherwise ``>= fail_pct`` percent slower is a ``regression``,
+  ``>= warn_pct`` a ``warn``, ``<= -warn_pct`` a ``faster`` (verdicts
+  that should prompt updating the committed baseline);
+* benchmarks present in only one file are reported (``new``/``gone``)
+  but never fail the comparison — adding a benchmark must not break CI
+  against an older baseline.
+
+Exit codes are distinct and documented (``docs/PERF.md``): 0 ok (or
+faster), 3 at least one warn, 4 at least one regression; 2 stays
+reserved for usage errors like the rest of the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["EXIT_OK", "EXIT_REGRESSION", "EXIT_WARN", "CompareRow",
+           "compare_payloads", "exit_code", "render_comparison"]
+
+OK = "ok"
+FASTER = "faster"
+WARN = "warn"
+REGRESSION = "regression"
+NEW = "new"
+GONE = "gone"
+
+EXIT_OK = 0
+EXIT_WARN = 3
+EXIT_REGRESSION = 4
+
+#: Default thresholds (percent median slowdown) — the contract named in
+#: the perf workflow: fail beyond 20%, warn beyond 10%.
+DEFAULT_WARN_PCT = 10.0
+DEFAULT_FAIL_PCT = 20.0
+DEFAULT_NOISE_MADS = 3.0
+
+
+@dataclass
+class CompareRow:
+    """Verdict for one benchmark name across the two files."""
+
+    name: str
+    base_median_s: float
+    new_median_s: float
+    delta_pct: float
+    verdict: str
+    note: str = ""
+
+
+def _medians(payload) -> Dict[str, Tuple[float, float]]:
+    return {name: (stats["median_s"], stats["mad_s"])
+            for name, stats in payload["results"].items()}
+
+
+def compare_payloads(base, new,
+                     warn_pct: float = DEFAULT_WARN_PCT,
+                     fail_pct: float = DEFAULT_FAIL_PCT,
+                     noise_mads: float = DEFAULT_NOISE_MADS
+                     ) -> List[CompareRow]:
+    """Row-per-benchmark verdicts, shared names first, then new/gone."""
+    base_stats = _medians(base)
+    new_stats = _medians(new)
+    rows: List[CompareRow] = []
+    for name in sorted(set(base_stats) & set(new_stats)):
+        b_median, b_mad = base_stats[name]
+        n_median, n_mad = new_stats[name]
+        delta = n_median - b_median
+        pct = 100.0 * delta / b_median if b_median else 0.0
+        noise_band = noise_mads * max(b_mad, n_mad)
+        if abs(delta) <= noise_band:
+            verdict, note = OK, "within noise"
+        elif pct >= fail_pct:
+            verdict, note = REGRESSION, f">= {fail_pct:g}% slower"
+        elif pct >= warn_pct:
+            verdict, note = WARN, f">= {warn_pct:g}% slower"
+        elif pct <= -warn_pct:
+            verdict, note = FASTER, "consider refreshing the baseline"
+        else:
+            verdict, note = OK, ""
+        rows.append(CompareRow(name, b_median, n_median, pct, verdict,
+                               note))
+    for name in sorted(set(new_stats) - set(base_stats)):
+        rows.append(CompareRow(name, 0.0, new_stats[name][0], 0.0, NEW,
+                               "not in baseline"))
+    for name in sorted(set(base_stats) - set(new_stats)):
+        rows.append(CompareRow(name, base_stats[name][0], 0.0, 0.0, GONE,
+                               "missing from new run"))
+    return rows
+
+
+def exit_code(rows: List[CompareRow]) -> int:
+    """Worst verdict wins: 0 ok/faster/new/gone, 3 warn, 4 regression."""
+    if any(r.verdict == REGRESSION for r in rows):
+        return EXIT_REGRESSION
+    if any(r.verdict == WARN for r in rows):
+        return EXIT_WARN
+    return EXIT_OK
+
+
+def render_comparison(rows: List[CompareRow], base_label: str,
+                      new_label: str) -> str:
+    """The comparison as a text table (shared CLI table formatter)."""
+    from repro.eval.report import format_table
+
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.name,
+            f"{row.base_median_s * 1000:.2f}" if row.base_median_s else "-",
+            f"{row.new_median_s * 1000:.2f}" if row.new_median_s else "-",
+            f"{row.delta_pct:+.1f}%" if row.verdict not in (NEW, GONE)
+            else "-",
+            row.verdict, row.note])
+    return format_table(
+        f"Host-performance comparison — {base_label} -> {new_label}",
+        ["benchmark", "base ms", "new ms", "delta", "verdict", "note"],
+        table_rows,
+        "medians of calibrated repeats; deltas within the MAD noise "
+        "band are ok by construction (docs/PERF.md).")

@@ -1,0 +1,167 @@
+"""Measurement core: calibrated repetition, robust statistics, hotspots.
+
+One benchmark is a :class:`BenchSpec` — a ``setup`` building the state
+once, a ``run`` timed repeatedly over that state, and an optional
+``teardown``.  :func:`measure` runs ``warmup`` untimed iterations
+(cold-start effects: allocator growth, lazy imports, branch-predictor
+and cache warmup of the *host*) and then ``repeats`` timed ones with
+``time.perf_counter``, reporting the **median** and the **median
+absolute deviation** (MAD) rather than mean/stdev: one GC pause or
+scheduler preemption shifts a mean arbitrarily but moves a median by at
+most one rank, so run-to-run agreement is judged against a statistic
+that survives the host's worst case.
+
+Peak RSS comes from ``resource.getrusage`` (kilobytes on Linux,
+normalized from bytes on macOS); it is a high-water mark over the whole
+process, so per-benchmark values are monotone within one ``perf run``
+and mainly catch a stage that suddenly holds gigabytes.
+
+:func:`hotspots` re-runs a spec once under ``cProfile`` and returns the
+top-k functions by cumulative time — attribution, not timing (profiled
+numbers are not comparable with the calibrated samples).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["BenchResult", "BenchSpec", "hotspots", "mad", "measure",
+           "median", "peak_rss_kb"]
+
+
+@dataclass
+class BenchSpec:
+    """One registered host benchmark."""
+
+    name: str
+    group: str
+    description: str
+    setup: Callable[[], Any]
+    run: Callable[[Any], Any]
+    teardown: Optional[Callable[[Any], None]] = None
+
+
+@dataclass
+class BenchResult:
+    """Statistics of one measured benchmark."""
+
+    name: str
+    repeats: int
+    warmup: int
+    median_s: float
+    mad_s: float
+    min_s: float
+    max_s: float
+    mean_s: float
+    peak_rss_kb: int
+    samples: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "repeats": self.repeats, "warmup": self.warmup,
+            "median_s": round(self.median_s, 6),
+            "mad_s": round(self.mad_s, 6),
+            "min_s": round(self.min_s, 6),
+            "max_s": round(self.max_s, 6),
+            "mean_s": round(self.mean_s, 6),
+            "peak_rss_kb": self.peak_rss_kb,
+            "samples_s": [round(s, 6) for s in self.samples],
+        }
+
+
+def median(values: List[float]) -> float:
+    """Middle value (mean of the middle two for even counts)."""
+    if not values:
+        raise ValueError("median of no samples")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: List[float]) -> float:
+    """Median absolute deviation around the median."""
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def peak_rss_kb() -> int:
+    """Process high-water resident set size in kilobytes (0 when the
+    platform has no ``resource`` module, e.g. Windows)."""
+    try:
+        import resource
+    except ImportError:                                # pragma: no cover
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":                       # pragma: no cover
+        peak //= 1024                                  # bytes -> KB
+    return int(peak)
+
+
+def measure(spec: BenchSpec, repeats: int = 7,
+            warmup: int = 2) -> BenchResult:
+    """Run one spec to a :class:`BenchResult` (state built once)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    state = spec.setup()
+    try:
+        for _ in range(warmup):
+            spec.run(state)
+        samples: List[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            spec.run(state)
+            samples.append(time.perf_counter() - start)
+    finally:
+        if spec.teardown is not None:
+            spec.teardown(state)
+    return BenchResult(
+        name=spec.name, repeats=repeats, warmup=warmup,
+        median_s=median(samples), mad_s=mad(samples),
+        min_s=min(samples), max_s=max(samples),
+        mean_s=sum(samples) / len(samples),
+        peak_rss_kb=peak_rss_kb(), samples=samples)
+
+
+def hotspots(spec: BenchSpec,
+             top: int = 10) -> List[Tuple[int, float, float, str]]:
+    """Top-``top`` functions by cumulative time over one profiled run.
+
+    Returns ``(calls, tottime_s, cumtime_s, location)`` rows, heaviest
+    first; profiler frames themselves are excluded.
+    """
+    state = spec.setup()
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        spec.run(state)
+        profiler.disable()
+    finally:
+        if spec.teardown is not None:
+            spec.teardown(state)
+    stats = pstats.Stats(profiler)
+    rows: List[Tuple[int, float, float, str]] = []
+    for (filename, line, func), (_cc, ncalls, tottime, cumtime, _callers) \
+            in stats.stats.items():
+        if "cProfile" in filename or filename == "~":
+            continue
+        location = f"{_short_path(filename)}:{line}:{func}"
+        rows.append((ncalls, tottime, cumtime, location))
+    rows.sort(key=lambda r: r[2], reverse=True)
+    return rows[:top]
+
+
+def _short_path(filename: str) -> str:
+    """Trim a profiler filename to the path under ``repro`` (or the
+    basename for everything else) so tables stay readable."""
+    marker = "repro" + ("/" if "/" in filename else "\\")
+    index = filename.rfind(marker)
+    if index >= 0:
+        return filename[index:].replace("\\", "/")
+    return filename.rsplit("/", 1)[-1].rsplit("\\", 1)[-1]

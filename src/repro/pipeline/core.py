@@ -146,6 +146,11 @@ class Pipeline:
     def __init__(self, cache_dir=None, telemetry: Optional[Telemetry] = None,
                  trace: Optional[TraceLog] = None, fault_plan=None,
                  fault_attempt: int = 0) -> None:
+        from repro import runctx
+        #: Invocation identity (shared across pool workers via
+        #: ``$REPRO_RUN_ID``); stamped into trace records, run reports,
+        #: sweep points, and perf BENCH files.
+        self.run = runctx.current()
         self.telemetry = telemetry or Telemetry()
         self.store = ArtifactStore(
             cache_dir, telemetry=self.telemetry, fault_plan=fault_plan,

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro import runctx
+
 COMPLETED = "completed"
 RETRIED = "retried"
 DEGRADED = "degraded"
@@ -53,6 +55,10 @@ class RunReport:
         #: Free-form annotations (e.g. experiments skipped at render
         #: time because a benchmark unit failed).
         self.annotations: List[str] = []
+        #: Identity of the invocation this report belongs to, so a
+        #: persisted ``report.json`` correlates with the trace JSONL,
+        #: sweep points, and BENCH files of the same run.
+        self.run: runctx.RunContext = runctx.current()
 
     # -- recording ---------------------------------------------------------
 
@@ -114,6 +120,7 @@ class RunReport:
         """JSON-ready rendering (persisted as a sweep's ``report.json``
         so a resumed or audited sweep can see exactly what happened)."""
         return {
+            "run": self.run.stamp(),
             "units": [o.as_dict() for o in sorted(
                 self.units.values(), key=lambda o: o.unit)],
             "annotations": list(self.annotations),

@@ -1,0 +1,108 @@
+"""Unified run identity: one :class:`RunContext` per invocation tree.
+
+Before this module the repository had three telemetry islands — the
+pipeline's ``--trace`` JSONL, the fault layer's
+:class:`~repro.robust.RunReport`, and the sweep engine's
+``points.jsonl`` — none of which could be correlated after the fact:
+nothing said *which invocation* produced a given artifact.  A
+:class:`RunContext` stamps every one of them (plus the ``repro perf``
+``BENCH_*.json`` files) with the same three facts:
+
+``run_id``
+    A short random identifier minted once per process tree.  The first
+    :func:`current` call exports it as ``$REPRO_RUN_ID``, so pool
+    workers forked/spawned later inherit the parent's id and every
+    record of one invocation — across processes — carries one id.
+``git_sha``
+    The checkout the run executed from (``GITHUB_SHA`` in CI, else
+    ``git rev-parse``, else ``"unknown"``) — enough to re-create the
+    code state behind any benchmark number or sweep point.
+``source_digest``
+    The content hash of the ``repro`` package sources (the same digest
+    that keys the artifact cache, see
+    :func:`repro.pipeline.keys.source_digest`), which identifies
+    uncommitted states ``git_sha`` cannot.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["ENV_RUN_ID", "RunContext", "current", "new_context"]
+
+#: Environment variable that pins the run id across a process tree.
+ENV_RUN_ID = "REPRO_RUN_ID"
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Identity of one invocation: who ran, on what code, when."""
+
+    run_id: str
+    git_sha: str
+    source_digest: str
+    started: float
+
+    def stamp(self) -> Dict[str, object]:
+        """JSON-ready rendering for embedding in artifacts."""
+        return {"run_id": self.run_id, "git_sha": self.git_sha,
+                "source_digest": self.source_digest,
+                "started": self.started}
+
+
+def _repo_root() -> Path:
+    import repro
+    return Path(repro.__file__).resolve().parents[2]
+
+
+def _git_sha() -> str:
+    """Current commit, best effort: CI env var, then ``git``, then
+    ``"unknown"`` (never raises — perf runs work from tarballs too)."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha[:12]
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(_repo_root()), "rev-parse", "--short=12",
+             "HEAD"],
+            capture_output=True, text=True, timeout=5)
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def new_context(run_id: Optional[str] = None) -> RunContext:
+    """Mint a fresh context (``run_id`` override for tests/adoption)."""
+    from repro.pipeline.keys import source_digest
+
+    return RunContext(
+        run_id=run_id or uuid.uuid4().hex[:12],
+        git_sha=_git_sha(),
+        source_digest=source_digest()[:16],
+        started=round(time.time(), 3))
+
+
+_CURRENT: Optional[RunContext] = None
+
+
+def current() -> RunContext:
+    """The process-wide context, created on first use.
+
+    Honors ``$REPRO_RUN_ID`` (a parent process or the user pinning the
+    id) and exports the chosen id back into the environment so any
+    child process — pool workers included — joins the same run.
+    """
+    global _CURRENT
+    env_id = os.environ.get(ENV_RUN_ID)
+    if _CURRENT is None or (env_id and _CURRENT.run_id != env_id):
+        _CURRENT = new_context(run_id=env_id)
+        os.environ[ENV_RUN_ID] = _CURRENT.run_id
+    return _CURRENT

@@ -1,0 +1,176 @@
+"""Observability-layer coverage: Telemetry counters/merging, the
+buffered TraceLog, and the RunContext stamp unifying the telemetry
+islands (trace JSONL, run reports, sweep points, BENCH files)."""
+
+import dataclasses
+import io
+import json
+import os
+
+import pytest
+
+from repro import runctx
+from repro.pipeline.observe import StageCounters, Telemetry, TraceLog
+from repro.robust import RunReport
+
+
+class TestStageCounters:
+    def test_hit_rate_zero_request_guard(self):
+        assert StageCounters().hit_rate == 0.0
+        assert StageCounters().requests == 0
+
+    def test_hit_rate_counts_both_hit_kinds(self):
+        counters = StageCounters(memory_hits=1, disk_hits=1, computes=2)
+        assert counters.hit_rate == pytest.approx(0.5)
+
+
+class TestTelemetryMerge:
+    def test_as_dict_merge_round_trip(self):
+        a = Telemetry()
+        a.record("s1", "compute", 1.5)
+        a.record("s1", "store", 0.1)
+        a.record("s2", "disk-hit", 0.25)
+        a.record("s2", "memory-hit")
+        a.record("s2", "corrupt")
+        b = Telemetry()
+        b.merge_dict(a.as_dict())
+        assert b.as_dict() == a.as_dict()
+        b.merge_dict(a.as_dict())
+        assert b.counters("s1").computes == 2
+        assert b.counters("s1").compute_seconds == pytest.approx(3.0)
+        assert b.counters("s2").corrupt_entries == 2
+
+    def test_merge_dict_drops_unknown_fields(self):
+        """A newer worker may report counters this process has never
+        heard of — they are dropped, not a TypeError."""
+        telemetry = Telemetry()
+        telemetry.merge_dict({"stage": {
+            "computes": 3, "compute_seconds": 1.0,
+            "a_counter_from_the_future": 7}})
+        assert telemetry.counters("stage").computes == 3
+        assert not hasattr(telemetry.counters("stage"),
+                           "a_counter_from_the_future")
+
+    def test_merge_dict_defaults_missing_fields(self):
+        """An older worker's dict may lack fields added since — they
+        default to zero instead of corrupting the merge."""
+        telemetry = Telemetry()
+        telemetry.merge_dict({"stage": {"memory_hits": 5}})
+        counters = telemetry.counters("stage")
+        assert counters.memory_hits == 5
+        assert counters.computes == 0
+        assert counters.corrupt_entries == 0
+
+    def test_merge_dict_empty_and_round_trip_after_drift(self):
+        telemetry = Telemetry()
+        telemetry.merge_dict({})
+        assert telemetry.as_dict() == {}
+        telemetry.merge_dict({"s": {"unknown_only": 1}})
+        assert telemetry.counters("s").requests == 0
+
+
+class TestProfileTable:
+    def test_total_row_is_columnwise_sum(self):
+        telemetry = Telemetry()
+        telemetry.record("a", "compute", 2.0)
+        telemetry.record("a", "memory-hit")
+        telemetry.record("b", "disk-hit", 0.5)
+        telemetry.record("b", "store", 0.1)
+        telemetry.record("b", "corrupt")
+        headers, rows = telemetry.profile()
+        assert rows[-1][0] == "TOTAL"
+        body, total = rows[:-1], rows[-1]
+        for column, header in enumerate(headers):
+            if header in ("Stage", "hit%"):
+                continue
+            assert total[column] == pytest.approx(
+                sum(row[column] for row in body)), header
+
+    def test_total_hit_rate_is_global_not_mean_of_rates(self):
+        telemetry = Telemetry()
+        # stage a: 100% hits over 1 request; stage b: 0% over 3.
+        telemetry.record("a", "memory-hit")
+        for _ in range(3):
+            telemetry.record("b", "compute", 0.1)
+        _headers, rows = telemetry.profile()
+        assert rows[-1][5] == pytest.approx(25.0)   # 1 hit / 4 requests
+
+
+class TestTraceLog:
+    def _records(self, text):
+        return [json.loads(line) for line in text.splitlines() if line]
+
+    def test_records_carry_pid_and_run_id(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        log = TraceLog(path)
+        log.emit("stage", "compute", 0.001, "ab" * 16, ("k",))
+        log.close()
+        (record,) = self._records(path.read_text())
+        assert record["pid"] == os.getpid()
+        assert record["run"] == runctx.current().run_id
+
+    def test_buffered_then_flushed_on_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        log = TraceLog(path, flush_every=1000)
+        for i in range(5):
+            log.emit("stage", "memory-hit", 0.0, key=i)
+        log.close()
+        assert len(self._records(path.read_text())) == 5
+
+    def test_flushes_every_n_records(self):
+        sink = io.StringIO()
+        flushes = []
+        sink.flush = lambda: flushes.append(len(sink.getvalue()))
+        log = TraceLog(sink, flush_every=3)
+        for i in range(7):
+            log.emit("stage", "compute", 0.0, key=i)
+        assert len(flushes) == 2                      # at records 3 and 6
+        log.close()
+        assert len(flushes) == 3                      # close drains the rest
+        assert len(self._records(sink.getvalue())) == 7
+
+    def test_unowned_handle_flushed_but_not_closed(self):
+        sink = io.StringIO()
+        log = TraceLog(sink, flush_every=100)
+        log.emit("stage", "compute", 0.0)
+        log.close()
+        assert not sink.closed
+        assert len(self._records(sink.getvalue())) == 1
+
+
+class TestRunContext:
+    def test_current_is_stable_within_process(self):
+        assert runctx.current().run_id == runctx.current().run_id
+
+    def test_current_exported_to_environment_for_workers(self):
+        context = runctx.current()
+        assert os.environ[runctx.ENV_RUN_ID] == context.run_id
+
+    def test_env_pin_adopted(self, monkeypatch):
+        monkeypatch.setenv(runctx.ENV_RUN_ID, "pinned-run-id")
+        assert runctx.current().run_id == "pinned-run-id"
+
+    def test_stamp_is_json_ready(self):
+        stamp = runctx.current().stamp()
+        assert set(stamp) == {"run_id", "git_sha", "source_digest",
+                              "started"}
+        json.dumps(stamp)
+
+    def test_context_fields_populated(self):
+        context = runctx.new_context()
+        assert len(context.run_id) == 12
+        assert context.git_sha            # "unknown" at worst, never empty
+        assert len(context.source_digest) == 16
+        assert context.started > 0
+
+    def test_run_report_carries_run_stamp(self, monkeypatch):
+        monkeypatch.setenv(runctx.ENV_RUN_ID, "report-run-id")
+        report = RunReport()
+        assert report.as_dict()["run"]["run_id"] == "report-run-id"
+
+
+class TestCounterFieldContract:
+    def test_merge_contract_matches_dataclass(self):
+        from repro.pipeline.observe import _COUNTER_FIELDS
+        assert _COUNTER_FIELDS == {
+            f.name for f in dataclasses.fields(StageCounters)}
