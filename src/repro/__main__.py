@@ -450,16 +450,19 @@ def _cmd_frontier(args, _runner) -> int:
         return 2
     rows = pareto_frontier(aggregate_configs(records))
     axes = sorted({name for row in rows for name in row["settings"]})
-    headers = axes + ["cost", "IPC", "holes", "frontier"]
+    headers = axes + ["cost", "area mm2", "IPC", "IPC/mm2", "holes",
+                      "frontier"]
     table_rows = [
         [row["settings"].get(a, "") for a in axes]
-        + [row["cost"], round(row["ipc_geomean"], 3), row["holes"],
-           "*" if row["on_frontier"] else ""]
+        + [row["cost"], round(row["area_mm2"], 1),
+           round(row["ipc_geomean"], 3), round(row["ipc_per_area"], 4),
+           row["holes"], "*" if row["on_frontier"] else ""]
         for row in rows]
     print(format_table(
         f"Pareto frontier — sweep {spec.name!r} ({len(records)} points)",
         headers, table_rows,
         "cost = window slots x ETs (cycles) or window (ideal); "
+        "area is the repro.uarch.area estimate; "
         "* = on the (IPC, cost) frontier."))
     print()
     base_rows = sensitivity_rows(spec, records)
@@ -494,7 +497,8 @@ def _perf_run(args) -> int:
     try:
         specs = perf.default_suite(
             [n.strip() for n in args.only.split(",") if n.strip()]
-            if args.only else None)
+            if args.only else None,
+            kernel_backend=args.kernel_backend)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -555,6 +559,55 @@ def _perf_compare(args) -> int:
                perf.EXIT_REGRESSION: "REGRESSION"}[code]
     print(f"\nverdict: {verdict} (exit {code})")
     return code
+
+
+def _cmd_config(args, _runner) -> int:
+    # args.config_command is always "show" today (argparse enforces it);
+    # the sub-subcommand exists so `repro config diff` etc. can slot in.
+    import dataclasses
+
+    from repro.explore.spec import SpecError, parse_overrides
+    from repro.pipeline.keys import config_digest
+    from repro.uarch import components
+    from repro.uarch.area import estimate_area
+    from repro.uarch.config import ConfigError, TripsConfig
+
+    try:
+        overrides = parse_overrides(args.config or [], system="cycles")
+        config = TripsConfig(**overrides).validate()
+    except (SpecError, ConfigError) as exc:
+        print(f"bad --config override: {exc}", file=sys.stderr)
+        return 2
+
+    defaults = TripsConfig()
+    print(f"TripsConfig (digest {config_digest(config)})")
+    print()
+    marked = False
+    for field in dataclasses.fields(TripsConfig):
+        value = getattr(config, field.name)
+        star = ""
+        if value != getattr(defaults, field.name):
+            star, marked = "  *", True
+        print(f"  {field.name:24s} = {value!r}{star}")
+    if marked:
+        print()
+        print("  (* differs from the prototype default)")
+
+    print()
+    print("components (repro.uarch.components registry):")
+    for field_name, kind in sorted(components.COMPONENT_FIELDS.items()):
+        names = components.component_names(kind)
+        selected = getattr(config, field_name)
+        print(f"  {field_name:16s} = {selected:12s} "
+              f"[registered: {', '.join(names)}]")
+
+    area = estimate_area(config)
+    print()
+    print(f"estimated area: {area.total_mm2:.1f} mm2 "
+          f"(prototype-normalized 130nm-class model, repro.uarch.area)")
+    for name, mm2, share in area.rows():
+        print(f"  {name:16s} {mm2:8.2f} mm2  {share * 100:5.1f}%")
+    return 0
 
 
 def _add_robust_options(parser: argparse.ArgumentParser) -> None:
@@ -689,6 +742,19 @@ def build_parser() -> argparse.ArgumentParser:
     frontier_p.add_argument("sweep_dir",
                             help="a sweep's --out directory")
 
+    config_p = sub.add_parser(
+        "config", help="inspect the resolved microarchitecture config")
+    config_sub = config_p.add_subparsers(dest="config_command",
+                                         required=True)
+    config_show = config_sub.add_parser(
+        "show", help="print the resolved TripsConfig, registered "
+                     "component variants, area estimate, and digest")
+    config_show.add_argument("--config", action="append", default=None,
+                             metavar="KEY=VALUE[,KEY=VALUE]",
+                             help="override TripsConfig fields before "
+                                  "resolving (same syntax as `repro run "
+                                  "--config`)")
+
     perf_p = sub.add_parser(
         "perf", help="host-performance benchmark harness")
     perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
@@ -707,6 +773,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf_run.add_argument("--only", default=None, metavar="A,B",
                           help="run only the named benchmarks "
                                "(see `perf list`)")
+    perf_run.add_argument("--kernel-backend", default=None, metavar="NAME",
+                          help="run the cycle-sim benchmark with this "
+                               "registered execution-kernel backend "
+                               "(see `repro config show`)")
     perf_run.add_argument("--out", default=None, metavar="FILE",
                           help="output path (default BENCH_<YYYYMMDD>.json "
                                "at the repo root)")
@@ -760,9 +830,11 @@ def main(argv=None) -> int:
     handler = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
                "asm": _cmd_asm, "report": _cmd_report,
                "chaos": _cmd_chaos, "sweep": _cmd_sweep,
-               "frontier": _cmd_frontier, "perf": _cmd_perf}[args.command]
+               "frontier": _cmd_frontier, "perf": _cmd_perf,
+               "config": _cmd_config}[args.command]
     runner = _make_runner(args) \
-        if args.command not in ("list", "frontier", "perf") else None
+        if args.command not in ("list", "frontier", "perf", "config") \
+        else None
     try:
         return handler(args, runner)
     finally:

@@ -365,9 +365,10 @@ def fig8_opn_profile(runner: Runner = SHARED_RUNNER):
              ("SPEC-gcc", ("gcc",), "compiled"),
              ("vadd-hand", ("vadd",), "hand"),
              ("matrix-hand", ("matrix",), "hand")]
-    headers = ["Case", "avg hops"] + [f"{h} hops" for h in range(6)] \
-        + ["ET-ET share"]
-    rows = []
+    # Bucket count comes from the configured topology (a torus saturates
+    # at fewer hops than the prototype mesh), not a hardcoded range.
+    max_bucket = 0
+    profiles = []
     for label, names, variant in cases:
         packets = {}
         hops = {}
@@ -375,16 +376,22 @@ def fig8_opn_profile(runner: Runner = SHARED_RUNNER):
         for name in names:
             _, sim = runner.trips_cycles(name, variant)
             stats = sim.opn.stats
+            max_bucket = max(max_bucket, getattr(stats, "hop_buckets", 5))
             for k, v in stats.packets.items():
                 packets[k] = packets.get(k, 0) + v
             for k, v in stats.hops.items():
                 hops[k] = hops.get(k, 0) + v
             for k, v in stats.hop_histogram.items():
                 histogram[k] = histogram.get(k, 0) + v
+        profiles.append((label, packets, hops, histogram))
+    headers = ["Case", "avg hops"] \
+        + [f"{h} hops" for h in range(max_bucket + 1)] + ["ET-ET share"]
+    rows = []
+    for label, packets, hops, histogram in profiles:
         total_packets = max(sum(packets.values()), 1)
         total_hops = sum(hops.values())
         hop_fracs = []
-        for h in range(6):
+        for h in range(max_bucket + 1):
             count = sum(v for (klass, hh), v in histogram.items() if hh == h)
             hop_fracs.append(count / total_packets)
         etet = packets.get("ET-ET", 0) / total_packets

@@ -11,7 +11,8 @@ Consumes the per-point results a sweep produced (see
 * **Pareto frontier** — over ``(IPC, cost)`` where the cost proxy is
   window capacity x execution tiles for ``cycles`` sweeps (the area
   currency of the EDGE soft-processor studies) and window capacity for
-  ``ideal`` sweeps; OPN link count rides along as a wire-cost column;
+  ``ideal`` sweeps; the topology's OPN link count, the estimated area
+  (:mod:`repro.uarch.area`), and IPC per mm² ride along as columns;
 * **artifacts** — ``points.jsonl`` (one record per design point,
   holes included), ``sensitivity.csv``, ``frontier.csv``, ``report.json``
   (the :class:`~repro.robust.RunReport`), and a human ``summary.md``.
@@ -45,7 +46,7 @@ SUMMARY_FILE = "summary.md"
 SPEC_FILE = "spec.json"
 
 
-def point_cost(system: str, settings: Dict[str, Any]) -> Dict[str, int]:
+def point_cost(system: str, settings: Dict[str, Any]) -> Dict[str, Any]:
     """Cost proxies of one design point.
 
     ``window_slots``
@@ -55,7 +56,11 @@ def point_cost(system: str, settings: Dict[str, Any]) -> Dict[str, int]:
         Execution tiles (issue resources); 0 for the ideal machine's
         infinite array.
     ``opn_links``
-        Directed mesh links of the (grid+1) x (grid+1) OPN.
+        Directed links (x channels) of the configured OPN topology.
+    ``area_mm2``
+        Estimated area of the configured machine
+        (:func:`repro.uarch.area.estimate_area`); 0 for the ideal
+        machine, which has no floorplan.
     ``cost``
         The scalar frontier axis: ``window_slots x ets`` for ``cycles``
         (reservation-station area), ``window_slots`` for ``ideal``.
@@ -63,17 +68,18 @@ def point_cost(system: str, settings: Dict[str, Any]) -> Dict[str, int]:
     if system == "ideal":
         window = settings.get("window", 1024)
         return {"window_slots": window, "ets": 0, "opn_links": 0,
-                "cost": window}
-    defaults = TripsConfig()
-    blocks = settings.get("max_blocks_in_flight",
-                          defaults.max_blocks_in_flight)
-    block_size = settings.get("block_size_limit",
-                              defaults.block_size_limit)
-    grid = settings.get("ets_per_side", defaults.ets_per_side)
-    side = grid + 1                      # +1 for the R/D/G tile row+column
+                "area_mm2": 0.0, "cost": window}
+    from repro.uarch.area import estimate_area
+    from repro.uarch.components import create_topology
+
+    config = TripsConfig(**settings)
+    blocks = config.max_blocks_in_flight
+    block_size = config.block_size_limit
+    grid = config.ets_per_side
     window_slots = blocks * block_size
     return {"window_slots": window_slots, "ets": grid * grid,
-            "opn_links": 2 * 2 * side * (side - 1),
+            "opn_links": create_topology(config).link_count(),
+            "area_mm2": estimate_area(config).total_mm2,
             "cost": window_slots * grid * grid}
 
 
@@ -113,9 +119,12 @@ def aggregate_configs(records: Iterable[Dict[str, Any]]
     rows = []
     for row in by_config.values():
         cost = point_cost(row["system"], row["settings"])
+        ipc = geomean(row["ipcs"])
+        area = cost["area_mm2"]
         rows.append({
             "settings": row["settings"],
-            "ipc_geomean": geomean(row["ipcs"]),
+            "ipc_geomean": ipc,
+            "ipc_per_area": ipc / area if area else 0.0,
             "benchmarks": row["benchmarks"],
             "holes": row["holes"],
             **cost,
@@ -205,12 +214,13 @@ def _axis_columns(rows: List[Dict[str, Any]]) -> List[str]:
 def write_frontier_csv(path: Path, rows: List[Dict[str, Any]]) -> None:
     axes = _axis_columns(rows)
     headers = axes + ["cost", "window_slots", "ets", "opn_links",
-                      "ipc_geomean", "benchmarks", "holes", "on_frontier"]
+                      "area_mm2", "ipc_geomean", "ipc_per_area",
+                      "benchmarks", "holes", "on_frontier"]
     _write_csv(path, headers, (
         [row["settings"].get(a, "") for a in axes]
         + [row["cost"], row["window_slots"], row["ets"], row["opn_links"],
-           row["ipc_geomean"], row["benchmarks"], row["holes"],
-           int(row["on_frontier"])]
+           row["area_mm2"], row["ipc_geomean"], row["ipc_per_area"],
+           row["benchmarks"], row["holes"], int(row["on_frontier"])]
         for row in rows))
 
 
@@ -251,14 +261,16 @@ def render_summary(spec: SweepSpec, records: Sequence[Dict[str, Any]],
         lines.append("")
     lines += ["## Pareto frontier (IPC vs cost)", "",
               "| " + " | ".join(
-                  ["cost", "IPC (geomean)", "on frontier", "settings"])
+                  ["cost", "area mm2", "IPC (geomean)", "IPC/mm2",
+                   "on frontier", "settings"])
               + " |",
-              "|---|---|---|---|"]
+              "|---|---|---|---|---|---|"]
     for row in frontier:
         settings = ", ".join(f"{k}={v}" for k, v in
                              sorted(row["settings"].items()))
         lines.append(
-            f"| {row['cost']} | {row['ipc_geomean']:.3f} | "
+            f"| {row['cost']} | {row['area_mm2']:.1f} | "
+            f"{row['ipc_geomean']:.3f} | {row['ipc_per_area']:.4f} | "
             f"{'yes' if row['on_frontier'] else ''} | {settings} |")
     lines += ["", "## Per-axis sensitivity (others at baseline)", "",
               "| axis | value | IPC (geomean) | delta | delta % |",

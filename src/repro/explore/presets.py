@@ -19,6 +19,11 @@ answers in the paper's Section 5:
 ``smoke``
     A 4-point sweep (2 benchmarks x 2 speculation depths) small enough
     for CI: cold it simulates, warm it must be a 100% cache hit.
+``opn-topology``
+    Component-registry sweep: three operand-network topologies (mesh /
+    torus / double-width mesh) crossed with two next-block predictors,
+    ranked by IPC per estimated mm² (the area model of
+    :mod:`repro.uarch.area`).
 """
 
 from __future__ import annotations
@@ -64,6 +69,17 @@ PRESETS: Dict[str, dict] = {
         "system": "cycles",
         "benchmarks": ["crc", "vadd"],
         "axes": {"max_blocks_in_flight": [1, 8]},
+    },
+    "opn-topology": {
+        "description": "Operand-network topology x next-block predictor "
+                       "(component registry variants, ranked by IPC per "
+                       "area)",
+        "system": "cycles",
+        "benchmarks": ["crc", "vadd", "rspeed"],
+        "axes": {
+            "opn_topology": ["mesh", "torus", "dwmesh"],
+            "predictor_kind": ["tournament", "gshare"],
+        },
     },
 }
 

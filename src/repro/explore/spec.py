@@ -50,9 +50,26 @@ class SpecError(ValueError):
     """
 
 
-#: TripsConfig field name -> declared type string ("int" or "bool").
+#: TripsConfig field name -> declared type string ("int", "bool", "str").
 CONFIG_FIELDS: Dict[str, str] = {
     f.name: f.type for f in dataclasses.fields(TripsConfig)}
+
+
+def _check_component_value(axis: str, value: str) -> str:
+    """Component-selection axes must name a registered variant.
+
+    Validated here — before any simulation — with the registry's
+    did-you-mean, so ``opn_topology=taurus`` fails like any typo'd axis.
+    """
+    from repro.uarch import components
+
+    kind = components.COMPONENT_FIELDS.get(axis)
+    if kind is not None:
+        try:
+            components.validate_selection(kind, value)
+        except components.ComponentError as error:
+            raise SpecError(f"axis {axis!r}: {error}") from None
+    return value
 
 #: Ideal-machine axes: name -> (default, minimum legal value).
 IDEAL_AXES: Dict[str, Tuple[int, int]] = {
@@ -91,6 +108,8 @@ def parse_value(axis: str, text: str, expected: str):
             return False
         raise SpecError(
             f"axis {axis!r}: expected a bool, got {text!r}")
+    if expected == "str":
+        return _check_component_value(axis, text)
     try:
         return int(text, 0)
     except ValueError:
@@ -104,6 +123,11 @@ def _check_value(axis: str, value: Any, expected: str) -> Any:
             raise SpecError(
                 f"axis {axis!r}: expected a bool, got {value!r}")
         return value
+    if expected == "str":
+        if not isinstance(value, str):
+            raise SpecError(
+                f"axis {axis!r}: expected a string, got {value!r}")
+        return _check_component_value(axis, value)
     if not isinstance(value, int) or isinstance(value, bool):
         raise SpecError(
             f"axis {axis!r}: expected an int, got {value!r}")

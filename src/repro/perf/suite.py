@@ -77,9 +77,18 @@ def _setup_cycle_sim():
                         formation="hyper")
 
 
-def _run_cycle_sim(lowered):
-    from repro.uarch import run_cycles
-    return run_cycles(lowered)
+def _make_run_cycle_sim(kernel_backend: Optional[str] = None):
+    def _run(lowered):
+        from repro.uarch import run_cycles
+        if kernel_backend is None:
+            return run_cycles(lowered)
+        from repro.uarch.config import TripsConfig
+        return run_cycles(
+            lowered, config=TripsConfig(kernel_backend=kernel_backend))
+    return _run
+
+
+_run_cycle_sim = _make_run_cycle_sim()
 
 
 # -- microarchitecture component benchmarks ---------------------------------
@@ -236,15 +245,32 @@ def suite_names() -> List[str]:
     return [spec.name for spec in _SUITE]
 
 
-def default_suite(only: Optional[Sequence[str]] = None) -> List[BenchSpec]:
+def default_suite(only: Optional[Sequence[str]] = None,
+                  kernel_backend: Optional[str] = None) -> List[BenchSpec]:
     """The registered benchmarks, optionally restricted to ``only``.
 
+    ``kernel_backend`` reruns the ``cycle-sim`` benchmark with a named
+    execution-kernel backend from the component registry (the spec name
+    stays ``cycle-sim`` so ``perf compare`` lines up against baselines).
     Unknown names raise with the valid set (mirrors the sweep spec
     validator's fail-fast style).
     """
+    suite = list(_SUITE)
+    if kernel_backend is not None:
+        from dataclasses import replace
+
+        from repro.uarch.components import validate_selection
+        validate_selection("kernel", kernel_backend)
+        suite = [
+            replace(spec,
+                    description=(f"{spec.description} "
+                                 f"[kernel={kernel_backend}]"),
+                    run=_make_run_cycle_sim(kernel_backend))
+            if spec.name == "cycle-sim" else spec
+            for spec in suite]
     if only is None:
-        return list(_SUITE)
-    by_name: Dict[str, BenchSpec] = {s.name: s for s in _SUITE}
+        return suite
+    by_name: Dict[str, BenchSpec] = {s.name: s for s in suite}
     unknown = [name for name in only if name not in by_name]
     if unknown:
         raise ValueError(

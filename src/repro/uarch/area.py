@@ -1,0 +1,99 @@
+"""Per-tile / per-structure area estimates for a configured machine.
+
+Motivated by the EDGE soft-processor line of work (Gray & Smith): raw
+IPC comparisons across predictor/window/network variants are
+meaningless without an area denominator, so every simulated design
+point also reports an estimated area and the frontier analysis can rank
+points by IPC *per mm²*.
+
+The constants below are **normalized 130 nm-class estimates** anchored
+to the TRIPS prototype floorplan (the chip was 336 mm² in a 130 nm ASIC
+process; the processor core with its L1s and OPN occupies roughly a
+quarter of it).  They are deliberately simple — SRAM structures scale
+linearly with capacity, logic structures with their count — because the
+model's job is *relative* comparison between configurations, not sign-
+off floorplanning.  Absolute numbers should be quoted only as
+"prototype-normalized mm²"; see docs/COMPONENTS.md for the assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.uarch.config import TripsConfig
+
+__all__ = ["AreaBreakdown", "estimate_area"]
+
+#: SRAM density, mm² per KB (130 nm-class, ECC and peripherals folded in).
+SRAM_MM2_PER_KB = 0.11
+#: An execution tile's ALU/FPU + issue control, excluding its window SRAM.
+ET_BASE_MM2 = 1.05
+#: One reservation-station slot (instruction + two operands + status).
+ET_SLOT_MM2 = 0.012
+#: A register tile: 32x64b bank plus its read/write port logic per port.
+RT_BASE_MM2 = 0.35
+RT_PORT_MM2 = 0.10
+#: Global tile: block control, refill engine, commit protocol logic.
+GT_MM2 = 1.4
+#: OPN router crossbar + arbitration per node, and per directed link
+#: (wiring, repeaters, input FIFO); a double-width link costs two links.
+OPN_ROUTER_MM2 = 0.14
+OPN_LINK_MM2 = 0.035
+#: Load/store-queue CAM entry (per lwt_entries entry, per DT).
+LSQ_ENTRY_MM2 = 0.0006
+
+
+@dataclass
+class AreaBreakdown:
+    """Estimated area by structure, in prototype-normalized mm²."""
+
+    structures: Dict[str, float]
+
+    @property
+    def total_mm2(self) -> float:
+        return sum(self.structures.values())
+
+    def rows(self):
+        """(structure, mm², share-of-total) rows, largest first."""
+        total = self.total_mm2
+        return [(name, mm2, mm2 / total if total else 0.0)
+                for name, mm2 in sorted(self.structures.items(),
+                                        key=lambda kv: -kv[1])]
+
+
+def estimate_area(config: TripsConfig) -> AreaBreakdown:
+    """Estimate the configured machine's area.
+
+    Every structure's contribution follows the config field that sizes
+    it, and the OPN contribution follows the *topology's* router/link
+    counts — so sweeping ``opn_topology`` or ``slots_per_et`` moves the
+    area denominator the way it would move the floorplan.
+    """
+    from repro.uarch.components import create_topology
+
+    topology = create_topology(config)
+    ets = config.ets_per_side * config.ets_per_side
+    nodes = (config.ets_per_side + 1) ** 2
+
+    structures = {
+        "execution_tiles": ets * (ET_BASE_MM2
+                                  + config.slots_per_et * ET_SLOT_MM2
+                                  * config.max_blocks_in_flight),
+        "register_tiles": config.rt_banks * (
+            RT_BASE_MM2
+            + (config.rt_read_ports + config.rt_write_ports) * RT_PORT_MM2),
+        "global_tile": GT_MM2,
+        "l1d": (config.l1d_banks * config.l1d_bank_bytes / 1024.0)
+        * SRAM_MM2_PER_KB,
+        "l1i": (config.l1i_bytes / 1024.0) * SRAM_MM2_PER_KB,
+        "l2": (config.l2_banks * config.l2_bank_bytes / 1024.0)
+        * SRAM_MM2_PER_KB,
+        "opn": nodes * OPN_ROUTER_MM2
+        + topology.link_count() * OPN_LINK_MM2,
+        "predictor": ((config.exit_predictor_bytes
+                       + config.target_predictor_bytes) / 1024.0)
+        * SRAM_MM2_PER_KB,
+        "lsq": config.l1d_banks * config.lwt_entries * LSQ_ENTRY_MM2,
+    }
+    return AreaBreakdown(structures)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.uarch.components import MEMORIES, MemoryHierarchyABC
 from repro.uarch.config import TripsConfig
 
 
@@ -222,7 +223,7 @@ class L1InstructionCache:
         return done, missed
 
 
-class MemoryHierarchy:
+class MemoryHierarchy(MemoryHierarchyABC):
     """The full TRIPS memory system wired together."""
 
     def __init__(self, config: TripsConfig, tracer=None) -> None:
@@ -231,3 +232,48 @@ class MemoryHierarchy:
         self.l2 = NucaL2(config, self.dram, tracer=tracer)
         self.l1d = L1DataBanks(config, self.l2, tracer=tracer)
         self.l1i = L1InstructionCache(config, self.l2, tracer=tracer)
+
+
+class _PerfectL1DataBanks(L1DataBanks):
+    """L1 data banks that always hit.
+
+    Port arbitration (single-ported banks) is preserved — the limit
+    study isolates *miss* latency from *bandwidth*, so bank conflicts
+    still queue.
+    """
+
+    def access(self, address: int, now: int, is_store: bool = False) -> int:
+        bank_index = self.bank_of(address)
+        start = self._ports.claim(bank_index, now)
+        self.stats.accesses += 1
+        return start + self.config.l1d_hit_cycles
+
+
+class _PerfectL1InstructionCache(L1InstructionCache):
+    """L1 instruction cache that always hits (fetch never stalls on L2)."""
+
+    def fetch_block(self, label: str, chunks: int, now: int) -> Tuple[int, bool]:
+        self.stats.accesses += chunks
+        return now + self.config.l1i_hit_cycles, False
+
+
+class PerfectL1Hierarchy(MemoryHierarchy):
+    """The TRIPS hierarchy with ideal (always-hit) L1 caches.
+
+    A limit study: how much of the cycle count is L1 misses?  The L2
+    and DRAM models stay wired up (stores and the L2's own statistics
+    remain meaningful) but no L1 access ever reaches them.
+    """
+
+    def __init__(self, config: TripsConfig, tracer=None) -> None:
+        super().__init__(config, tracer=tracer)
+        self.l1d = _PerfectL1DataBanks(config, self.l2, tracer=tracer)
+        self.l1i = _PerfectL1InstructionCache(config, self.l2, tracer=tracer)
+
+
+MEMORIES.register(
+    "trips", lambda config, tracer=None: MemoryHierarchy(
+        config, tracer=tracer))
+MEMORIES.register(
+    "perfect-l1", lambda config, tracer=None: PerfectL1Hierarchy(
+        config, tracer=tracer))

@@ -10,6 +10,7 @@ predictor budgets.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, fields
 
 
@@ -35,6 +36,23 @@ _NON_NEGATIVE_FIELDS = frozenset({
 #: Cache line sizes must be powers of two (address/alignment math).
 _POWER_OF_TWO_FIELDS = ("l1d_line_bytes", "l1i_line_bytes",
                         "l2_line_bytes")
+
+
+def _component_default(field_name: str, fallback: str) -> str:
+    """Default for a component-selection field.
+
+    ``REPRO_UARCH_COMPONENTS`` (format
+    ``opn_topology=torus,predictor_kind=gshare``) overrides defaults for
+    configs that don't set the field explicitly — this is how the CI
+    matrix runs the whole tier-1 suite under a non-default topology
+    without touching any test.  Explicit field values always win.
+    """
+    spec = os.environ.get("REPRO_UARCH_COMPONENTS", "")
+    for item in spec.split(","):
+        key, sep, value = item.partition("=")
+        if sep and key.strip() == field_name:
+            return value.strip()
+    return fallback
 
 
 @dataclass
@@ -135,6 +153,28 @@ class TripsConfig:
     clock_mhz: int = 366
 
     # ------------------------------------------------------------------
+    # Component selections (repro.uarch.components registries).  Being
+    # ordinary dataclass fields, they flow into config digests like any
+    # other parameter, so runs with different components never share a
+    # pipeline cache slot.  Defaults rebuild the prototype exactly;
+    # REPRO_UARCH_COMPONENTS=field=name,... overrides them process-wide
+    # (see _component_default).
+    # ------------------------------------------------------------------
+
+    #: Operand-network topology: "mesh" (prototype), "torus", "dwmesh".
+    opn_topology: str = field(default_factory=lambda: _component_default(
+        "opn_topology", "mesh"))
+    #: Next-block predictor: "tournament" (prototype) or "gshare".
+    predictor_kind: str = field(default_factory=lambda: _component_default(
+        "predictor_kind", "tournament"))
+    #: Memory system: "trips" (prototype) or "perfect-l1".
+    memory_kind: str = field(default_factory=lambda: _component_default(
+        "memory_kind", "trips"))
+    #: Execution-kernel backend: "scalar" (reference).
+    kernel_backend: str = field(default_factory=lambda: _component_default(
+        "kernel_backend", "scalar"))
+
+    # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
 
@@ -158,6 +198,11 @@ class TripsConfig:
                     problems.append(
                         f"{f.name} must be a bool, got {value!r}")
                 continue
+            if f.type == "str":
+                if not isinstance(value, str):
+                    problems.append(
+                        f"{f.name} must be a str, got {value!r}")
+                continue
             if not isinstance(value, int) or isinstance(value, bool):
                 problems.append(
                     f"{f.name} must be an int, got {value!r}")
@@ -166,6 +211,17 @@ class TripsConfig:
             if value < floor:
                 problems.append(
                     f"{f.name} must be >= {floor}, got {value}")
+        # Component selections must name registered variants (with a
+        # did-you-mean hint from the registry on a near miss).
+        from repro.uarch import components
+        for field_name, kind in components.COMPONENT_FIELDS.items():
+            value = getattr(self, field_name)
+            if not isinstance(value, str):
+                continue        # already reported above
+            try:
+                components.validate_selection(kind, value)
+            except components.ComponentError as error:
+                problems.append(str(error))
         if not problems:
             for name in _POWER_OF_TWO_FIELDS:
                 value = getattr(self, name)

@@ -33,26 +33,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.ir.interp import Memory, TrapError
+from repro.ir.interp import Memory
 from repro.robust.errors import SimulationBudgetExceeded
-from repro.ir.types import wrap64
 
-from repro.isa.asm import is_write_target, write_slot_of
 from repro.isa.block import TripsBlock, TripsProgram
-from repro.isa.instructions import (
-    Slot, TEST_OPS, TInst, TOp, TRIPS_LATENCY, operand_count,
-)
+from repro.isa.instructions import TInst, TOp
 from repro.trips.codegen import LoweredProgram
-from repro.trips.functional import NULL_TOKEN, _as_int, _compute
+from repro.trips.functional import _as_int
 from repro.trips.placement import Placement
-from repro.trips.regalloc import bank_of
 
-from repro.uarch.caches import MemoryHierarchy
+from repro.uarch import components
 from repro.uarch.config import TripsConfig
-from repro.uarch.opn import (
-    GT_COORD, OperandNetwork, dt_coord, et_coord, rt_coord,
-)
-from repro.uarch.predictor import NextBlockPredictor
+from repro.uarch.opn import OperandNetwork
 
 _EXIT_SET = frozenset({TOp.BRO, TOp.CALLO, TOp.RET})
 
@@ -110,22 +102,6 @@ class CycleStats:
         return 1000.0 * value / self.useful if self.useful else 0.0
 
 
-class _TimedBlock:
-    """Per-activation dataflow state with timestamps."""
-
-    __slots__ = ("values", "times", "pred_val", "pred_time", "arrived",
-                 "fired", "mispredicated")
-
-    def __init__(self, n: int) -> None:
-        self.values: List[Dict[Slot, object]] = [None] * n
-        self.times: List[Dict[Slot, int]] = [None] * n
-        self.pred_val: List[object] = [None] * n
-        self.pred_time: List[int] = [0] * n
-        self.arrived = [0] * n
-        self.fired = [False] * n
-        self.mispredicated = [False] * n
-
-
 class CycleSimulator:
     """Runs a lowered TRIPS program and reports cycle-accurate statistics."""
 
@@ -145,9 +121,17 @@ class CycleSimulator:
         #: tracer, so cycle counts are identical traced or not and the
         #: disabled path costs one pointer test per site.
         self.tracer = tracer
-        self.hierarchy = MemoryHierarchy(self.config, tracer=tracer)
-        self.opn = OperandNetwork(self.config.opn_hop_cycles, tracer=tracer)
-        self.predictor = NextBlockPredictor(self.config, tracer=tracer)
+        # Pluggable components (repro.uarch.components registries),
+        # selected by the config's opn_topology / memory_kind /
+        # predictor_kind / kernel_backend fields.  The defaults
+        # reconstruct the prototype exactly.
+        self.topology = components.create_topology(self.config)
+        self.hierarchy = components.create_memory(self.config, tracer=tracer)
+        self.opn = OperandNetwork(self.config.opn_hop_cycles, tracer=tracer,
+                                  topology=self.topology)
+        self.predictor = components.create_predictor(self.config,
+                                                     tracer=tracer)
+        self.kernel = components.create_kernel(self.config)
         self.stats = CycleStats()
         # Watchdog budgets: the block budget matches the historical
         # runaway guard; cycle and wall-clock budgets are opt-in.  All
@@ -354,297 +338,15 @@ class CycleSimulator:
 
     def _execute_block(self, block: TripsBlock, placement: Placement,
                        fetch_done: int) -> Tuple[TInst, int, int]:
-        config = self.config
-        stats = self.stats
-        tracer = self.tracer
-        block_label = block.label
-        n = len(block.instructions)
-        state = _TimedBlock(n)
-        dispatch_base = fetch_done + config.fetch_to_dispatch_cycles
-        dispatch = [dispatch_base + i // config.dispatch_bandwidth
-                    for i in range(n)]
+        """Execute one block activation via the configured kernel backend.
 
-        need = [operand_count(i.op) for i in block.instructions]
-        preds = [i.predicate for i in block.instructions]
-        ready: List[int] = []
-        parked: List[int] = []
-        resolved_stores: Dict[int, int] = {}      # lsid -> resolve time
-        store_addr_time: Dict[int, Tuple[int, int, int]] = {}
-        store_buffer: Dict[int, Tuple[int, object, TInst]] = {}
-        store_lsids = sorted(block.store_lsids)
-        write_values: Dict[int, Tuple[object, int]] = {}
-        write_producers: Dict[int, int] = {}
-        used_feed: List[List[int]] = [[] for _ in range(n)]
-        exit_taken: Optional[TInst] = None
-        exit_time = 0
-        load_flush_penalty = 0
-
-        grid = config.ets_per_side
-
-        def tile_of(index: int):
-            return et_coord(placement.tiles[index], grid)
-
-        def deliver(value, when: int, targets, producer_index: int,
-                    src_coord) -> None:
-            nonlocal exit_taken, exit_time
-            for target in targets:
-                if is_write_target(target):
-                    slot = write_slot_of(target)
-                    write = block.writes[slot]
-                    bank = bank_of(write.reg)
-                    arrive = self.opn.send(src_coord, rt_coord(bank), when,
-                                           self._class_of(src_coord, "rt"))
-                    port = self.rt_write_ports.claim(bank, arrive)
-                    write_values[slot] = (value, port)
-                    if producer_index >= 0:
-                        write_producers[slot] = producer_index
-                    continue
-                index = target.inst
-                if state.fired[index] or state.mispredicated[index]:
-                    continue
-                dst = tile_of(index)
-                arrive = self.opn.send(src_coord, dst, when,
-                                       self._class_of(src_coord, "et"))
-                if target.slot is Slot.PRED:
-                    if state.pred_val[index] is None:
-                        actual = 1 if value and value is not NULL_TOKEN else 0
-                        state.pred_val[index] = actual
-                        state.pred_time[index] = self._predicate_arrival(
-                            block.label, index, actual, arrive,
-                            dispatch[index])
-                        if producer_index >= 0:
-                            used_feed[index].append(producer_index)
-                        check_ready(index)
-                    continue
-                slots = state.values[index]
-                if slots is None:
-                    slots = state.values[index] = {}
-                    state.times[index] = {}
-                if target.slot in slots:
-                    continue
-                slots[target.slot] = value
-                state.times[index][target.slot] = arrive
-                state.arrived[index] += 1
-                if producer_index >= 0:
-                    used_feed[index].append(producer_index)
-                check_ready(index)
-
-        def check_ready(index: int) -> None:
-            if state.fired[index] or state.mispredicated[index]:
-                return
-            if state.arrived[index] < need[index]:
-                return
-            predicate = preds[index]
-            if predicate is not None:
-                arrived = state.pred_val[index]
-                if arrived is None:
-                    return
-                wanted = 1 if predicate == "T" else 0
-                if arrived != wanted:
-                    state.mispredicated[index] = True
-                    inst = block.instructions[index]
-                    if inst.op is TOp.STORE:
-                        resolved_stores[inst.lsid] = state.pred_time[index]
-                        unpark()
-                    return
-            ready.append(index)
-
-        def stores_resolved_below(lsid: int) -> Tuple[bool, int]:
-            latest = 0
-            for s in store_lsids:
-                if s >= lsid:
-                    break
-                if s not in resolved_stores:
-                    return False, 0
-                latest = max(latest, resolved_stores[s])
-            return True, latest
-
-        def unpark() -> None:
-            if parked:
-                ready.extend(parked)
-                parked.clear()
-
-        def ready_time(index: int) -> int:
-            times = state.times[index] or {}
-            t = dispatch[index]
-            for slot_time in times.values():
-                t = max(t, slot_time)
-            if preds[index] is not None:
-                t = max(t, state.pred_time[index])
-            return t
-
-        def fire(index: int) -> None:
-            nonlocal exit_taken, exit_time, load_flush_penalty
-            inst = block.instructions[index]
-            state.fired[index] = True
-            stats.executed += 1
-            tile = placement.tiles[index]
-            coord = et_coord(tile, grid)
-            t_ready = ready_time(index)
-            issue = self.et_issue.claim(tile, t_ready)
-            latency = TRIPS_LATENCY.get(inst.op, 1)
-            done = issue + latency
-            slots = state.values[index] or {}
-            op = inst.op
-            # Loads may still park below (unresolved earlier stores), so
-            # their issue event is emitted after the disambiguation check.
-            if tracer is not None and op is not TOp.LOAD:
-                tracer.emit("inst_issue", issue, label=block_label,
-                            index=index, op=op.value, tile=tile)
-
-            if op is TOp.LOAD:
-                address = wrap64(_as_int(slots[Slot.OP0]) + inst.imm)
-                ok, barrier = stores_resolved_below(inst.lsid)
-                if not ok:
-                    # The LSQ cannot disambiguate against unresolved
-                    # earlier stores: hold the load until their addresses
-                    # are known (a conservative LSQ; the dependence
-                    # predictor below charges flushes when a load's data
-                    # actually came from an in-flight store).
-                    parked.append(index)
-                    state.fired[index] = False
-                    stats.executed -= 1
-                    return
-                stats.loads += 1
-                stats.l1d_bytes += inst.width
-                if tracer is not None:
-                    tracer.emit("inst_issue", issue, label=block_label,
-                                index=index, op=op.value, tile=tile)
-                bank = self.hierarchy.l1d.bank_of(address)
-                depart = self.opn.send(coord, dt_coord(bank), done, "ET-DT")
-                value, forwarded_from = self._load_forwarded(
-                    address, inst, store_buffer)
-                finish = self.hierarchy.l1d.access(address, depart)
-                back = self.opn.send(dt_coord(bank), coord, finish, "ET-DT")
-                if forwarded_from >= 0:
-                    # The load consumed an in-flight store's data: had it
-                    # issued speculatively it would have flushed.  Train
-                    # the load-wait table; charge a flush the first time.
-                    when, _addr, _w = store_addr_time[forwarded_from]
-                    back = max(back, when + self.config.l1d_hit_cycles)
-                    static_id = hash((block.label, index)) & 0xFFFF
-                    if static_id not in self.lwt:
-                        self.lwt.add(static_id)
-                        stats.load_flushes += 1
-                        load_flush_penalty += \
-                            self.config.load_violation_flush_cycles
-                        if tracer is not None:
-                            tracer.emit(
-                                "load_flush", back, label=block_label,
-                                index=index,
-                                penalty=self.config
-                                .load_violation_flush_cycles)
-                if tracer is not None:
-                    if forwarded_from >= 0:
-                        tracer.emit("load_forward", back, label=block_label,
-                                    index=index, lsid=inst.lsid,
-                                    supplier=forwarded_from,
-                                    address=address)
-                    tracer.emit("inst_retire", back, label=block_label,
-                                index=index, op=op.value, tile=tile)
-                deliver(value, back, inst.targets, index, dt_coord(bank))
-                return
-            if op is TOp.STORE:
-                stats.stores += 1
-                stats.l1d_bytes += inst.width
-                address = wrap64(_as_int(slots[Slot.OP0]) + inst.imm)
-                value = slots[Slot.OP1]
-                bank = self.hierarchy.l1d.bank_of(address)
-                arrive = self.opn.send(coord, dt_coord(bank), done, "ET-DT")
-                # The store enters the DT's write buffer on arrival; a
-                # miss is absorbed there and written back off the critical
-                # path.  The bank's timing state still advances.
-                self.hierarchy.l1d.access(address, arrive, is_store=True)
-                finish = arrive + self.config.l1d_hit_cycles
-                store_buffer[inst.lsid] = (address, value, inst)
-                resolved_stores[inst.lsid] = finish
-                store_addr_time[inst.lsid] = (finish, address, inst.width)
-                if tracer is not None:
-                    tracer.emit("inst_retire", finish, label=block_label,
-                                index=index, op=op.value, tile=tile)
-                unpark()
-                return
-            if op is TOp.NULL:
-                if inst.lsid >= 0:
-                    resolved_stores[inst.lsid] = done
-                    unpark()
-                if tracer is not None:
-                    tracer.emit("inst_retire", done, label=block_label,
-                                index=index, op=op.value, tile=tile)
-                deliver(NULL_TOKEN, done, inst.targets, index, coord)
-                return
-            if op in _EXIT_SET:
-                if exit_taken is not None:
-                    raise TrapError(f"{block.label}: two exits fired")
-                exit_taken = inst
-                exit_time = self.opn.send(coord, GT_COORD, done, "ET-GT")
-                if tracer is not None:
-                    tracer.emit("inst_retire", exit_time, label=block_label,
-                                index=index, op=op.value, tile=tile)
-                return
-            if op in TEST_OPS:
-                pass
-            elif op is TOp.MOV:
-                stats.moves += 1
-            value = _compute(op, inst, slots)
-            if tracer is not None:
-                tracer.emit("inst_retire", done, label=block_label,
-                            index=index, op=op.value, tile=tile)
-            deliver(value, done, inst.targets, index, coord)
-
-        # Register reads: RT bank ports, then routed to consumers.
-        for read in block.reads:
-            bank = bank_of(read.reg)
-            when = self.rt_read_ports.claim(
-                bank, max(dispatch_base, self.reg_ready[read.reg]))
-            deliver(self.regs[read.reg], when, read.targets, -1,
-                    rt_coord(bank))
-
-        for index in range(n):
-            if need[index] == 0 and preds[index] is None:
-                ready.append(index)
-
-        guard = 0
-        while ready:
-            index = ready.pop()
-            if state.fired[index] or state.mispredicated[index]:
-                continue
-            guard += 1
-            if guard > 40 * n + 1000:
-                raise TrapError(f"{block.label}: execution livelock")
-            fire(index)
-
-        done_time = exit_time
-        for slot, write in enumerate(block.writes):
-            if slot not in write_values:
-                raise TrapError(f"{block.label}: write w{slot} missing")
-            value, when = write_values[slot]
-            if value is not NULL_TOKEN:
-                self.regs[write.reg] = value
-            self.reg_ready[write.reg] = when
-            done_time = max(done_time, when)
-        for lsid in store_lsids:
-            if lsid not in resolved_stores:
-                raise TrapError(f"{block.label}: store {lsid} unresolved")
-            done_time = max(done_time, resolved_stores[lsid])
-        # Commit buffered stores to memory in load/store-ID order — the
-        # LSQ's sequential-memory-semantics guarantee.
-        for lsid in sorted(store_buffer):
-            address, value, inst = store_buffer[lsid]
-            self._store_value(address, value, inst)
-        if exit_taken is None:
-            raise TrapError(f"{block.label}: no exit fired")
-        done_time += load_flush_penalty
-
-        # Statistics: composition and usage closure.
-        self._account(block, state, used_feed, write_producers, n)
-        stats.blocks_committed += 1
-        stats.fetched += n
-        residency = max(1, done_time - dispatch_base)
-        stats.window_inst_cycles += residency * n
-        useful_count = self._last_useful
-        stats.window_useful_cycles += residency * useful_count
-        return exit_taken, exit_time, done_time
+        The inner issue/route/commit loop lives in
+        :mod:`repro.uarch.kernels` behind the
+        :class:`~repro.uarch.components.ExecutionKernel` seam; every
+        backend must return bit-identical ``(exit_inst, exit_time,
+        done_time)`` for the same configuration.
+        """
+        return self.kernel.execute_block(self, block, placement, fetch_done)
 
     _last_useful = 0
 

@@ -63,12 +63,25 @@ def hop_count(src: Coord, dst: Coord) -> int:
 
 @dataclass
 class OpnStats:
-    """Traffic statistics by class, for the Figure 8 profile."""
+    """Traffic statistics by class, for the Figure 8 profile.
+
+    ``classes`` and ``hop_buckets`` come from the topology carrying the
+    traffic (see :class:`repro.uarch.components.OpnTopology`), so a new
+    topology's classes and hop range are reported instead of the
+    prototype mesh's hardcoded list — packets of a class the paper
+    never named are still counted, never dropped.
+    """
 
     packets: Dict[str, int] = field(default_factory=dict)
     hops: Dict[str, int] = field(default_factory=dict)
     hop_histogram: Dict[Tuple[str, int], int] = field(default_factory=dict)
     queue_cycles: int = 0
+    #: Traffic classes declared by the topology (observed classes are
+    #: reported too — the union, via :meth:`known_classes`).
+    classes: Tuple[str, ...] = ()
+    #: Final histogram bucket; hop counts beyond it clamp into it (the
+    #: prototype mesh uses 5, i.e. the paper's "5+" bucket).
+    hop_buckets: int = 5
 
     def record(self, klass: str, hops: int, queued: int) -> None:
         """Account one delivered operand.
@@ -80,7 +93,7 @@ class OpnStats:
         """
         self.packets[klass] = self.packets.get(klass, 0) + 1
         self.hops[klass] = self.hops.get(klass, 0) + hops
-        key = (klass, min(hops, 5))
+        key = (klass, min(hops, self.hop_buckets))
         self.hop_histogram[key] = self.hop_histogram.get(key, 0) + 1
         self.queue_cycles += queued
 
@@ -95,27 +108,73 @@ class OpnStats:
             total_hops = self.hops.get(klass, 0)
         return total_hops / total_packets if total_packets else 0.0
 
+    def known_classes(self) -> Tuple[str, ...]:
+        """Declared classes plus any observed ones not declared, in
+        declaration order then alphabetically — reporting never loses a
+        class just because a topology forgot to declare it."""
+        known = list(self.classes)
+        for klass in sorted(self.packets):
+            if klass not in known:
+                known.append(klass)
+        return tuple(known)
+
     def class_histogram(self, klass: str) -> Dict[int, float]:
-        """Hop-count distribution (fractions, keys 0..5) for one
-        traffic class.  A class with no recorded packets yields all-zero
-        fractions rather than dividing by zero."""
+        """Hop-count distribution (fractions, keys 0..hop_buckets) for
+        one traffic class.  A class with no recorded packets yields
+        all-zero fractions rather than dividing by zero."""
         total = self.packets.get(klass, 0)
         return {h: (self.hop_histogram.get((klass, h), 0) / total
                     if total else 0.0)
-                for h in range(6)}
+                for h in range(self.hop_buckets + 1)}
+
+    def histograms(self) -> Dict[str, Dict[int, float]]:
+        """Per-class hop distributions for every known class."""
+        return {klass: self.class_histogram(klass)
+                for klass in self.known_classes()}
 
 
 class OperandNetwork:
-    """Link-contention timing model of the 5x5 mesh."""
+    """Link-contention timing model of the operand network.
 
-    def __init__(self, hop_cycles: int = 1, tracer=None) -> None:
+    Routing, traffic classes, and link width come from the configured
+    :class:`~repro.uarch.components.OpnTopology`; the default is the
+    prototype's 5x5 mesh, which makes this model (and its resource-pool
+    keys) identical to the pre-registry network.
+    """
+
+    def __init__(self, hop_cycles: int = 1, tracer=None,
+                 topology=None) -> None:
         from repro.uarch.resources import ResourcePool
+        if topology is None:
+            from repro.uarch.topologies import MeshTopology
+            topology = MeshTopology()
+        self.topology = topology
         self.hop_cycles = hop_cycles
         self.links = ResourcePool()
-        self.stats = OpnStats()
+        self.stats = OpnStats(classes=topology.traffic_classes,
+                              hop_buckets=topology.hop_buckets)
         #: Optional :class:`repro.trace.Tracer`; ``None`` (the default)
         #: skips all event construction.
         self.tracer = tracer
+
+    def _claim_link(self, link, time: int) -> int:
+        """Reserve the earliest slot on the best channel of ``link``.
+
+        Single-channel links keep the bare link tuple as the pool key
+        (bit-identical with the pre-registry network); wider links probe
+        every channel and take the earliest free slot, ties to the
+        lowest channel index (deterministic).
+        """
+        channels = self.topology.link_channels
+        if channels == 1:
+            return self.links.claim(link, time)
+        best_channel = 0
+        best_start = self.links.probe((link, 0), time)
+        for channel in range(1, channels):
+            start = self.links.probe((link, channel), time)
+            if start < best_start:
+                best_channel, best_start = channel, start
+        return self.links.claim((link, best_channel), time)
 
     def send(self, src: Coord, dst: Coord, ready: int, klass: str) -> int:
         """Deliver one operand; returns its arrival time.
@@ -131,8 +190,8 @@ class OperandNetwork:
         queued = 0
         hops = 0
         tracer = self.tracer
-        for link in route(src, dst):
-            start = self.links.claim(link, time)
+        for link in self.topology.route(src, dst):
+            start = self._claim_link(link, time)
             if tracer is not None:
                 (sx, sy), (dx, dy) = link
                 tracer.emit("opn_hop", start, klass=klass, sx=sx, sy=sy,

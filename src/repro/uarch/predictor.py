@@ -21,6 +21,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.uarch.components import PREDICTORS, NextBlockPredictorABC
 from repro.uarch.config import TripsConfig
 
 
@@ -210,7 +211,7 @@ class TargetPredictor:
         self.btb[self._btb_key(block, exit_index)] = target
 
 
-class NextBlockPredictor:
+class NextBlockPredictor(NextBlockPredictorABC):
     """The complete TRIPS next-block predictor (exit + target)."""
 
     def __init__(self, config: TripsConfig = None, tracer=None) -> None:
@@ -252,3 +253,67 @@ class NextBlockPredictor:
                              exit=actual_exit, predicted_exit=predicted_exit,
                              correct=correct)
         return correct
+
+
+class GshareExitPredictor:
+    """Single-table gshare-style exit predictor.
+
+    One table of 3-bit exit numbers indexed by block hash XOR the global
+    exit path history.  Spending the entire budget on one history-
+    indexed table trades the tournament's per-block locality for more
+    reach into correlated paths — the classic gshare bet, applied to
+    exit numbers instead of taken/not-taken bits.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        # 3-bit exit + 1-bit hysteresis per entry.
+        entries = max(256, budget_bytes * 8 // 4)
+        self.table: List[int] = [0] * entries
+        self.hyst: List[int] = [0] * entries
+        self.entries = entries
+        self.path_history = 0
+
+    def _index(self, block: int) -> int:
+        return (block ^ self.path_history) % self.entries
+
+    def predict(self, block: int) -> int:
+        return self.table[self._index(block)]
+
+    def update(self, block: int, actual_exit: int) -> None:
+        index = self._index(block)
+        if self.table[index] == actual_exit:
+            self.hyst[index] = 0
+        else:
+            self.hyst[index] += 1
+            if self.hyst[index] >= 2:
+                self.table[index] = actual_exit
+                self.hyst[index] = 0
+        self.path_history = ((self.path_history << 3) | (actual_exit & 7)) \
+            & 0xFFFFF
+
+
+class GshareNextBlockPredictor(NextBlockPredictorABC):
+    """A next-block predictor with a gshare exit component.
+
+    The target side (BTB + call target buffer + RAS) is unchanged from
+    the prototype predictor, so accuracy differences against the
+    ``tournament`` variant isolate the exit-prediction organization.
+    """
+
+    def __init__(self, config: TripsConfig = None, tracer=None) -> None:
+        config = config or TripsConfig()
+        self.exit_predictor = GshareExitPredictor(config.exit_predictor_bytes)
+        self.target_predictor = TargetPredictor(
+            config.target_predictor_bytes, ras_entries=config.ras_entries)
+        self.stats = PredictorStats()
+        self.tracer = tracer
+
+    predict_and_update = NextBlockPredictor.predict_and_update
+
+
+PREDICTORS.register(
+    "tournament", lambda config, tracer=None: NextBlockPredictor(
+        config, tracer=tracer))
+PREDICTORS.register(
+    "gshare", lambda config, tracer=None: GshareNextBlockPredictor(
+        config, tracer=tracer))

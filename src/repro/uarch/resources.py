@@ -48,6 +48,18 @@ class CycleResource:
             self.floor = max(self.floor, horizon)
         return t
 
+    def probe(self, cycle: int) -> int:
+        """First free cycle >= ``cycle`` *without* reserving it.
+
+        Lets a caller compare several equivalent resources (e.g. the
+        channels of a double-width OPN link) before committing to one
+        with :meth:`claim`.
+        """
+        t = max(cycle, self.floor)
+        while t in self.claimed:
+            t += 1
+        return t
+
 
 class ResourcePool:
     """A lazily populated family of :class:`CycleResource` by key."""
@@ -62,3 +74,12 @@ class ResourcePool:
         if resource is None:
             resource = self.resources[key] = CycleResource()
         return resource.claim(cycle)
+
+    def probe(self, key, cycle: int) -> int:
+        """First free cycle >= ``cycle`` on ``key``, without reserving.
+
+        An untouched key is entirely free, so the answer is ``cycle``
+        itself and no resource is materialized.
+        """
+        resource = self.resources.get(key)
+        return cycle if resource is None else resource.probe(cycle)

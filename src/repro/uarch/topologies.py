@@ -1,0 +1,117 @@
+"""Operand-network topology variants.
+
+The prototype's OPN is a 5x5 wormhole-routed mesh with dimension-order
+(Y-then-X) routing [Gratz et al.]; :class:`MeshTopology` reproduces it
+exactly (it delegates to the original routing functions in
+:mod:`repro.uarch.opn`, so the default configuration is bit-identical
+to the pre-registry simulator).  Two alternates explore design points
+the paper could not:
+
+* :class:`TorusTopology` — wraparound links in both dimensions halve
+  the worst-case hop distance (corner-to-corner drops from 8 to 4);
+* :class:`DoubleWidthMeshTopology` — two independent channels per mesh
+  link double link bandwidth without changing routes, attacking the
+  queueing (not distance) component of operand latency.
+
+All variants keep the prototype floorplan coordinates (GT at (0,0),
+DTs in column 0, RTs in row 0, ETs in the interior) — see the
+:class:`~repro.uarch.components.OpnTopology` layout contract.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.uarch import opn as _opn
+from repro.uarch.components import (
+    Coord, Link, OpnTopology, TOPOLOGIES,
+)
+
+__all__ = ["DoubleWidthMeshTopology", "MeshTopology", "TorusTopology"]
+
+
+class MeshTopology(OpnTopology):
+    """The prototype 5x5 mesh: dimension-order Y-then-X routing."""
+
+    name = "mesh"
+
+    def route(self, src: Coord, dst: Coord) -> List[Link]:
+        return _opn.route(src, dst)
+
+    def hop_count(self, src: Coord, dst: Coord) -> int:
+        return _opn.hop_count(src, dst)
+
+    def link_count(self) -> int:
+        # Directed links between adjacent nodes, both dimensions.
+        return 4 * self.side * (self.side - 1) * self.link_channels
+
+
+class TorusTopology(OpnTopology):
+    """Mesh plus wraparound links; routes take the shorter direction.
+
+    Routing stays dimension-ordered (Y then X) and deterministic: within
+    a dimension the direction with fewer hops wins, and a tie breaks
+    toward the non-wrapping (mesh) direction.  On the 5x5 array the
+    worst-case distance drops from 8 hops to 4, which also shrinks the
+    hop histogram (``hop_buckets``) — per-class statistics follow the
+    topology instead of the paper's fixed 0..5+ buckets.
+    """
+
+    name = "torus"
+
+    def __init__(self, grid: int = 4) -> None:
+        super().__init__(grid)
+        self.hop_buckets = 2 * (self.side // 2)
+
+    def _steps(self, at: int, to: int) -> List[int]:
+        """Per-hop coordinate values from ``at`` to ``to`` along one
+        dimension, choosing the shorter (possibly wrapping) direction."""
+        side = self.side
+        forward = (to - at) % side
+        backward = (at - to) % side
+        if forward == 0:
+            return []
+        if forward <= backward:
+            return [(at + i) % side for i in range(1, forward + 1)]
+        return [(at - i) % side for i in range(1, backward + 1)]
+
+    def route(self, src: Coord, dst: Coord) -> List[Link]:
+        links: List[Link] = []
+        x, y = src
+        for ny in self._steps(y, dst[1]):
+            links.append(((x, y), (x, ny)))
+            y = ny
+        for nx in self._steps(x, dst[0]):
+            links.append(((x, y), (nx, y)))
+            x = nx
+        return links
+
+    def hop_count(self, src: Coord, dst: Coord) -> int:
+        side = self.side
+        dx = abs(src[0] - dst[0])
+        dy = abs(src[1] - dst[1])
+        return min(dx, side - dx) + min(dy, side - dy)
+
+    def link_count(self) -> int:
+        # Every node has a directed link in both directions of both
+        # dimensions (wraparound closes the rings).
+        return 4 * self.side * self.side * self.link_channels
+
+
+class DoubleWidthMeshTopology(MeshTopology):
+    """The prototype mesh with two independent channels per link.
+
+    Routes and hop counts are identical to :class:`MeshTopology`; the
+    operand network spreads traffic across the channels of each link
+    (earliest free slot wins, ties to channel 0), so only the queueing
+    component of latency changes.
+    """
+
+    name = "dwmesh"
+    link_channels = 2
+
+
+TOPOLOGIES.register("mesh", lambda config: MeshTopology(config.ets_per_side))
+TOPOLOGIES.register("torus", lambda config: TorusTopology(config.ets_per_side))
+TOPOLOGIES.register(
+    "dwmesh", lambda config: DoubleWidthMeshTopology(config.ets_per_side))

@@ -1,0 +1,263 @@
+"""The pluggable-microarchitecture layer: component registry semantics,
+topology variants, the area model, config threading, and differential
+goldens proving the default components reproduce the pre-registry
+simulator bit-for-bit."""
+
+import pytest
+
+from repro.bench import get
+from repro.opt import optimize
+from repro.pipeline.keys import config_digest
+from repro.trips import lower_module
+from repro.uarch import ConfigError, TripsConfig, run_cycles
+from repro.uarch.area import estimate_area
+from repro.uarch.components import (
+    ComponentError, ComponentRegistry, TOPOLOGIES, component_names,
+    create_topology, validate_selection,
+)
+from repro.uarch.opn import OperandNetwork, hop_count as mesh_hop_count
+from repro.uarch.topologies import (
+    DoubleWidthMeshTopology, MeshTopology, TorusTopology,
+)
+
+#: Explicit component selections — NOT the dataclass defaults — so these
+#: tests stay green when CI runs the suite under a REPRO_UARCH_COMPONENTS
+#: override (the defaults are env-sensitive by design).
+DEFAULT_COMPONENTS = dict(opn_topology="mesh", predictor_kind="tournament",
+                          memory_kind="trips", kernel_backend="scalar")
+
+#: (cycles, useful instructions) of the seed simulator, O2 + hyperblocks.
+GOLDENS = {
+    "vadd": (21628, 35358),
+    "crc": (15322, 12831),
+    "rspeed": (6978, 7229),
+}
+
+
+def _lowered(name):
+    return lower_module(optimize(get(name).module(), "O2"),
+                        formation="hyper")
+
+
+class TestRegistry:
+    def test_register_lookup_roundtrip(self):
+        reg = ComponentRegistry("widget")
+        reg.register("alpha", lambda x: ("alpha", x))
+        assert "alpha" in reg
+        assert reg.names() >= ["alpha"]
+        assert reg.create("alpha", 7) == ("alpha", 7)
+
+    def test_register_as_decorator(self):
+        reg = ComponentRegistry("widget")
+
+        @reg.register("beta")
+        def make_beta():
+            return "beta!"
+
+        assert reg.create("beta") == "beta!"
+        assert make_beta() == "beta!"
+
+    def test_duplicate_registration_rejected(self):
+        reg = ComponentRegistry("widget")
+        reg.register("alpha", lambda: 1)
+        with pytest.raises(ComponentError, match="already registered"):
+            reg.register("alpha", lambda: 2)
+        reg.register("alpha", lambda: 3, replace=True)
+        assert reg.create("alpha") == 3
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(ComponentError) as excinfo:
+            TOPOLOGIES.factory("taurus")
+        message = str(excinfo.value)
+        assert "did you mean 'torus'" in message
+        assert "mesh" in message
+
+    def test_builtin_variants_registered(self):
+        assert set(component_names("topology")) >= {"mesh", "torus",
+                                                    "dwmesh"}
+        assert set(component_names("predictor")) >= {"tournament",
+                                                     "gshare"}
+        assert set(component_names("memory")) >= {"trips", "perfect-l1"}
+        assert set(component_names("kernel")) >= {"scalar"}
+
+    def test_validate_selection(self):
+        validate_selection("topology", "torus")
+        with pytest.raises(ComponentError):
+            validate_selection("topology", "hypercube")
+
+
+class TestConfigThreading:
+    def test_component_fields_change_digest(self):
+        base = config_digest(TripsConfig(**DEFAULT_COMPONENTS))
+        for field, value in [("opn_topology", "torus"),
+                             ("predictor_kind", "gshare"),
+                             ("memory_kind", "perfect-l1")]:
+            other = config_digest(TripsConfig(
+                **{**DEFAULT_COMPONENTS, field: value}))
+            assert other != base, field
+
+    def test_validate_rejects_unknown_component(self):
+        with pytest.raises(ConfigError, match="did you mean 'torus'"):
+            TripsConfig(opn_topology="taurus").validate()
+
+    def test_env_override_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_UARCH_COMPONENTS",
+                           "opn_topology=torus,predictor_kind=gshare")
+        config = TripsConfig()
+        assert config.opn_topology == "torus"
+        assert config.predictor_kind == "gshare"
+        # Explicit values always beat the environment.
+        pinned = TripsConfig(opn_topology="mesh")
+        assert pinned.opn_topology == "mesh"
+
+
+class TestTopologies:
+    def test_mesh_matches_legacy_routing(self):
+        mesh = MeshTopology()
+        for src in [(0, 0), (2, 3), (4, 4), (1, 0)]:
+            for dst in [(0, 0), (3, 1), (4, 0), (2, 2)]:
+                path = mesh.route(src, dst)
+                assert mesh.hop_count(src, dst) == len(path)
+                assert mesh.hop_count(src, dst) == mesh_hop_count(src, dst)
+
+    def test_torus_routes_are_never_longer_than_mesh(self):
+        mesh, torus = MeshTopology(), TorusTopology()
+        for sy in range(5):
+            for sx in range(5):
+                for dy in range(5):
+                    for dx in range(5):
+                        src, dst = (sy, sx), (dy, dx)
+                        torus_hops = torus.hop_count(src, dst)
+                        assert torus_hops <= mesh.hop_count(src, dst)
+                        path = torus.route(src, dst)
+                        assert len(path) == torus_hops
+                        assert path == [] or path[-1][1] == dst
+
+    def test_torus_wraparound_is_shorter(self):
+        torus = TorusTopology()
+        assert torus.hop_count((0, 0), (0, 4)) == 1
+        assert torus.hop_count((4, 0), (0, 0)) == 1
+        assert mesh_hop_count((0, 0), (0, 4)) == 4
+
+    def test_dwmesh_doubles_links_not_routes(self):
+        mesh, dw = MeshTopology(), DoubleWidthMeshTopology()
+        assert dw.link_channels == 2
+        assert dw.link_count() == 2 * mesh.link_count()
+        assert dw.route((1, 1), (3, 4)) == mesh.route((1, 1), (3, 4))
+
+    def test_create_topology_from_config(self):
+        config = TripsConfig(**{**DEFAULT_COMPONENTS,
+                                "opn_topology": "torus"})
+        assert isinstance(create_topology(config), TorusTopology)
+
+
+class TestOpnStatsDerivation:
+    def test_classes_come_from_topology(self):
+        torus = TorusTopology()
+        opn = OperandNetwork(topology=torus)
+        assert opn.stats.classes == torus.traffic_classes
+        assert opn.stats.known_classes() == torus.traffic_classes
+
+    def test_observed_extra_classes_are_reported(self):
+        opn = OperandNetwork()
+        opn.send((1, 1), (1, 2), 0, "XX-YY")
+        assert "XX-YY" in opn.stats.known_classes()
+        assert set(opn.stats.histograms()) == set(opn.stats.known_classes())
+
+    def test_histogram_buckets_follow_topology(self):
+        torus = TorusTopology()
+        opn = OperandNetwork(topology=torus)
+        opn.send((1, 1), (1, 2), 0, "ET-ET")
+        histogram = opn.stats.class_histogram("ET-ET")
+        assert len(histogram) == torus.hop_buckets + 1
+        mesh_histogram = OperandNetwork().stats.class_histogram("ET-ET")
+        assert len(mesh_histogram) == 5 + 1
+
+
+class TestAreaModel:
+    def test_breakdown_covers_major_structures(self):
+        area = estimate_area(TripsConfig(**DEFAULT_COMPONENTS))
+        assert {"execution_tiles", "l2", "opn",
+                "predictor"} <= set(area.structures)
+        assert all(mm2 > 0 for mm2 in area.structures.values())
+        assert area.total_mm2 == pytest.approx(
+            sum(area.structures.values()))
+
+    def test_wider_topologies_cost_more_area(self):
+        def total(topology):
+            return estimate_area(TripsConfig(
+                **{**DEFAULT_COMPONENTS,
+                   "opn_topology": topology})).total_mm2
+
+        assert total("mesh") < total("torus") < total("dwmesh")
+
+
+class TestDifferentialGoldens:
+    """The refactored default path must be bit-identical to the seed."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDENS))
+    def test_default_components_reproduce_seed(self, name):
+        config = TripsConfig(**DEFAULT_COMPONENTS)
+        result, sim = run_cycles(_lowered(name), config=config)
+        cycles, executed = GOLDENS[name]
+        assert sim.stats.cycles == cycles
+        assert sim.stats.executed == executed
+
+    def test_variants_preserve_functional_result(self):
+        lowered = _lowered("crc")
+        baseline, _ = run_cycles(lowered,
+                                 config=TripsConfig(**DEFAULT_COMPONENTS))
+        for overrides in [{"opn_topology": "torus"},
+                          {"opn_topology": "dwmesh"},
+                          {"predictor_kind": "gshare"},
+                          {"memory_kind": "perfect-l1"}]:
+            config = TripsConfig(**{**DEFAULT_COMPONENTS, **overrides})
+            result, _ = run_cycles(lowered, config=config)
+            assert result == baseline, overrides
+
+    def test_torus_reduces_crc_hops(self):
+        lowered = _lowered("crc")
+        _, mesh_sim = run_cycles(lowered,
+                                 config=TripsConfig(**DEFAULT_COMPONENTS))
+        _, torus_sim = run_cycles(lowered, config=TripsConfig(
+            **{**DEFAULT_COMPONENTS, "opn_topology": "torus"}))
+        assert torus_sim.opn.stats.average_hops() \
+            < mesh_sim.opn.stats.average_hops()
+
+
+class TestSweepAndCli:
+    def test_opn_topology_preset_expands(self):
+        from repro.explore.presets import preset_spec
+        spec = preset_spec("opn-topology")
+        assert set(spec.axis_names) == {"opn_topology", "predictor_kind"}
+        # 3 topologies x 2 predictors x 3 benchmarks.
+        assert spec.point_count() == 18
+        assert "crc" in spec.benchmarks
+
+    def test_spec_rejects_unknown_component_value(self):
+        from repro.explore.spec import SpecError, parse_overrides
+        with pytest.raises(SpecError, match="torus"):
+            parse_overrides(["opn_topology=taurus"], system="cycles")
+
+    def test_config_show_cli(self, capsys):
+        from repro.__main__ import main
+        assert main(["config", "show", "--config",
+                     "opn_topology=torus"]) == 0
+        out = capsys.readouterr().out
+        assert "digest" in out
+        assert "torus" in out
+        assert "estimated area" in out
+
+    def test_config_show_rejects_bad_override(self, capsys):
+        from repro.__main__ import main
+        assert main(["config", "show", "--config",
+                     "opn_topology=taurus"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_perf_suite_kernel_backend(self):
+        from repro.perf.suite import default_suite
+        specs = default_suite(["cycle-sim"], kernel_backend="scalar")
+        assert specs[0].name == "cycle-sim"
+        assert "kernel=scalar" in specs[0].description
+        with pytest.raises(ValueError, match="unknown execution kernel"):
+            default_suite(kernel_backend="vector")

@@ -382,8 +382,10 @@ class TestAnalysis:
         assert marks[(("max_blocks_in_flight", 8),)] is True
 
     def test_cost_proxy_scales_with_window_and_grid(self):
-        small = point_cost("cycles", {"max_blocks_in_flight": 1})
-        deep = point_cost("cycles", {"max_blocks_in_flight": 8})
+        # Pin the topology: the default is REPRO_UARCH_COMPONENTS-sensitive.
+        mesh = {"opn_topology": "mesh"}
+        small = point_cost("cycles", {"max_blocks_in_flight": 1, **mesh})
+        deep = point_cost("cycles", {"max_blocks_in_flight": 8, **mesh})
         assert deep["cost"] == 8 * small["cost"]
         assert deep["opn_links"] == small["opn_links"] == 80   # 5x5 mesh
         wide = point_cost("cycles", {"ets_per_side": 8})
