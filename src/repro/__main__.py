@@ -385,7 +385,9 @@ def _resolve_sweep_spec(args):
 def _cmd_sweep(args, runner) -> int:
     from pathlib import Path
 
-    from repro.explore import expand, preset_names, preset_spec, run_sweep
+    from repro.explore import (
+        expand, preset_names, preset_spec, run_sweep, run_sweep_batched,
+    )
     from repro.explore.spec import SpecError
     from repro.robust import FaultPlan, RetryPolicy
 
@@ -405,6 +407,10 @@ def _cmd_sweep(args, runner) -> int:
     except SpecError as exc:
         print(f"bad sweep spec: {exc}", file=sys.stderr)
         return 2
+    if args.batch and (args.faults or args.jobs != 1):
+        print("--batch runs all points in this process: it cannot "
+              "combine with --jobs or --faults", file=sys.stderr)
+        return 2
     faults = None
     if args.faults:
         try:
@@ -414,18 +420,26 @@ def _cmd_sweep(args, runner) -> int:
             return 2
 
     out_dir = Path(args.out) if args.out else Path("sweeps") / spec.name
+    mode = "batch" if args.batch else f"jobs={args.jobs}"
     print(f"sweep {spec.name}: {len(points)} points over "
           f"{len(spec.benchmarks)} benchmark(s) x "
           f"{' x '.join(f'{name}[{len(values)}]' for name, values in spec.axes)}"
-          f", jobs={args.jobs}", file=sys.stderr)
-    result = run_sweep(
-        spec, cache_dir=runner.pipeline.store.base, out_dir=out_dir,
-        jobs=args.jobs,
-        policy=RetryPolicy(max_attempts=args.retries + 1,
-                           seed=args.seed if args.faults else 0),
-        stage_timeout=args.stage_timeout, faults=faults,
-        telemetry=runner.pipeline.telemetry,
-        progress=lambda label: print(f"done {label}", file=sys.stderr))
+          f", {mode}", file=sys.stderr)
+    if args.batch:
+        result = run_sweep_batched(
+            spec, cache_dir=runner.pipeline.store.base, out_dir=out_dir,
+            telemetry=runner.pipeline.telemetry,
+            progress=lambda label: print(f"done {label}",
+                                         file=sys.stderr))
+    else:
+        result = run_sweep(
+            spec, cache_dir=runner.pipeline.store.base, out_dir=out_dir,
+            jobs=args.jobs,
+            policy=RetryPolicy(max_attempts=args.retries + 1,
+                               seed=args.seed if args.faults else 0),
+            stage_timeout=args.stage_timeout, faults=faults,
+            telemetry=runner.pipeline.telemetry,
+            progress=lambda label: print(f"done {label}", file=sys.stderr))
 
     print(result.summary_line())
     names = ", ".join(sorted(p.name for p in result.artifacts.values()))
@@ -601,6 +615,17 @@ def _cmd_config(args, _runner) -> int:
         print(f"  {field_name:16s} = {selected:12s} "
               f"[registered: {', '.join(names)}]")
 
+    from repro.uarch.vectors import numpy_available
+    kernel = components.create_kernel(config)
+    caps = kernel.capabilities()
+    print()
+    print(f"kernel backend {kernel.name!r} capabilities:")
+    for cap in sorted(caps):
+        print(f"  {cap:16s} = {'yes' if caps[cap] else 'no'}")
+    print(f"  {'numpy available':16s} = "
+          f"{'yes' if numpy_available() else 'no'}"
+          f"{'' if numpy_available() else '  (pure-Python fallback)'}")
+
     area = estimate_area(config)
     print()
     print(f"estimated area: {area.total_mm2:.1f} mm2 "
@@ -721,6 +746,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="list the built-in sweep presets")
     sweep_p.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="simulate points with N worker processes")
+    sweep_p.add_argument("--batch", action="store_true",
+                         help="advance all points lock-step in one "
+                              "process through a shared pipeline "
+                              "(fastest for uarch-only sweeps; "
+                              "incompatible with --jobs/--faults)")
     sweep_p.add_argument("--points", action="append", default=None,
                          metavar="AXIS=V1,V2",
                          help="restrict or add an axis to the listed "

@@ -28,7 +28,9 @@ from repro.explore.analyze import (
     aggregate_configs, load_points, pareto_frontier, point_cost,
     sensitivity_rows, write_artifacts,
 )
-from repro.explore.engine import SweepResult, run_sweep, warm_point
+from repro.explore.engine import (
+    SweepResult, run_sweep, run_sweep_batched, warm_point,
+)
 from repro.explore.grid import DesignPoint, MAX_POINTS, expand
 from repro.explore.presets import PRESETS, preset_names, preset_spec
 from repro.explore.spec import (
@@ -53,6 +55,7 @@ __all__ = [
     "preset_names",
     "preset_spec",
     "run_sweep",
+    "run_sweep_batched",
     "sensitivity_rows",
     "warm_point",
     "write_artifacts",

@@ -36,12 +36,12 @@ from repro.explore.spec import SweepSpec
 from repro.pipeline.core import Pipeline
 from repro.pipeline.observe import Telemetry
 from repro.robust import (
-    FAILED, FaultPlan, RetryPolicy, RunReport, apply_unit_faults,
-    supervise_units,
+    COMPLETED, FAILED, FaultPlan, RetryPolicy, RunReport,
+    apply_unit_faults, supervise_units,
 )
 from repro.uarch.config import TripsConfig
 
-__all__ = ["SweepResult", "run_sweep", "warm_point"]
+__all__ = ["SweepResult", "run_sweep", "run_sweep_batched", "warm_point"]
 
 #: Pipeline stages whose computes count as "simulations" in the sweep
 #: summary (the CI smoke job asserts the warm rerun reports zero).
@@ -192,6 +192,76 @@ def run_sweep(spec: SweepSpec, cache_dir, out_dir,
     telemetry.merge(collector.telemetry)
 
     simulated = telemetry.computes(POINT_STAGES)
+    ok_count = sum(1 for r in records if r["status"] == "ok")
+    result = SweepResult(
+        spec=spec, points=points, records=records, report=report,
+        out_dir=Path(out_dir), simulated=simulated,
+        reused=max(0, ok_count - simulated),
+        seconds=time.perf_counter() - started)
+    result.artifacts = write_artifacts(
+        out_dir, spec, records, report.as_dict(), result.simulated,
+        result.reused)
+    return result
+
+
+def run_sweep_batched(spec: SweepSpec, cache_dir, out_dir,
+                      telemetry: Optional[Telemetry] = None,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> SweepResult:
+    """Execute every design point lock-step in one process
+    (``repro sweep --batch``).
+
+    All points advance through one shared :class:`Pipeline`, so the
+    front of the pipeline — bench decoding, IR optimization, TRIPS
+    lowering — runs once per (benchmark, variant) and every config
+    point reuses it from the in-memory stage cache; the marginal cost
+    of a point is its cycle simulation alone.  For sweeps that vary
+    only microarchitecture settings (the common case) this beats the
+    process-pool engine whenever worker startup and artifact
+    (de)serialization dominate, and the ``sweep-batched`` perf
+    benchmark tracks exactly that margin.
+
+    Artifact store keys are identical to :func:`run_sweep`'s, so batch
+    and supervised sweeps are interchangeable and resume from the same
+    cache, and the records/artifacts they produce are equal point for
+    point.  A failed point becomes an annotated hole, never an aborted
+    sweep — batch mode trades :mod:`repro.robust`'s crash/hang
+    recovery (no workers, no retries, no fault injection) for the
+    shared-setup speedup.
+    """
+    if cache_dir is None:
+        raise ValueError("sweeps require the artifact cache "
+                         "(drop --no-cache / REPRO_CACHE=0)")
+    started = time.perf_counter()
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    points = expand(spec)
+    report = RunReport()
+    pipeline = Pipeline(cache_dir=str(cache_dir))
+    run_id = runctx.current().run_id
+    records: List[Dict[str, Any]] = []
+    for point in points:
+        record = point.payload()
+        record["run_id"] = run_id
+        try:
+            artifact = _point_artifact(pipeline, record)
+        except Exception as exc:  # a hole, never an aborted sweep
+            report.record_attempt(point.label, exc)
+            report.resolve(point.label, FAILED)
+            record["status"] = "failed"
+            record["error"] = f"{type(exc).__name__}: {exc}"
+            record["metrics"] = None
+            report.annotate(f"hole: {point.label}: {record['error']}")
+        else:
+            report.resolve(point.label, COMPLETED)
+            record["status"] = "ok"
+            record["metrics"] = _metrics(point.system, artifact)
+            record["error"] = None
+            if progress is not None:
+                progress(point.label)
+        records.append(record)
+    telemetry.merge(pipeline.telemetry)
+
+    simulated = pipeline.telemetry.computes(POINT_STAGES)
     ok_count = sum(1 for r in records if r["status"] == "ok")
     result = SweepResult(
         spec=spec, points=points, records=records, report=report,

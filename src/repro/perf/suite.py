@@ -17,6 +17,8 @@ benchmark                 what it times
 ``pipeline-cold``         full stage compute into an empty artifact store
 ``pipeline-warm``         warm resolution (disk hit + checksum verify)
 ``trace-emit``            buffered ``TraceLog`` JSONL emission
+``cycle-sim-batched``     ``cycle-sim`` on the batched kernel backend
+``sweep-batched``         lock-step multi-point sweep (``sweep --batch``)
 ========================  ==================================================
 """
 
@@ -213,6 +215,38 @@ def _run_trace_emit(state):
     return _TRACE_RECORDS
 
 
+# -- batched-backend benchmarks ---------------------------------------------
+
+#: Sweep shape for ``sweep-batched``: one benchmark, two config points
+#: — small enough for CI, but the shared decode/lowering is still the
+#: majority of a cold per-point run, so the batch engine's sharing is
+#: what the number measures.
+_SWEEP_BENCH = _CYCLE_BENCH
+_SWEEP_AXIS = ("max_blocks_in_flight", (4, 8))
+
+
+def _setup_sweep_batched():
+    root = Path(tempfile.mkdtemp(prefix="repro-perf-sweep-"))
+    return SimpleNamespace(root=root, iteration=0)
+
+
+def _run_sweep_batched(state):
+    # Fresh store per sample: shared decode + lowering once, then one
+    # cycle simulation per design point (the `sweep --batch` cold path).
+    from repro.explore.engine import run_sweep_batched
+    from repro.explore.spec import SweepSpec
+    state.iteration += 1
+    base = state.root / f"iter-{state.iteration}"
+    spec = SweepSpec(name="perf-sweep-batched", system="cycles",
+                     benchmarks=(_SWEEP_BENCH,), axes=(_SWEEP_AXIS,))
+    result = run_sweep_batched(spec, cache_dir=base / "cache",
+                               out_dir=base / "out")
+    if not result.ok:
+        raise RuntimeError(f"sweep-batched benchmark produced holes: "
+                           f"{result.holes}")
+    return result.simulated
+
+
 _SUITE: List[BenchSpec] = [
     BenchSpec("ir-interp", "simulators",
               f"IR reference interpreter, {_INTERP_BENCH} end to end",
@@ -238,6 +272,15 @@ _SUITE: List[BenchSpec] = [
     BenchSpec("trace-emit", "pipeline",
               f"TraceLog JSONL emission, {_TRACE_RECORDS} records",
               _setup_trace_emit, _run_trace_emit, _teardown_tmpdir),
+    BenchSpec("cycle-sim-batched", "simulators",
+              f"cycle-level TRIPS simulator, {_CYCLE_BENCH} end to end "
+              f"[kernel=batched]",
+              _setup_cycle_sim, _make_run_cycle_sim("batched")),
+    BenchSpec("sweep-batched", "explore",
+              f"lock-step batch sweep: {_SWEEP_BENCH} x "
+              f"{_SWEEP_AXIS[0]}[{len(_SWEEP_AXIS[1])}], cold store",
+              _setup_sweep_batched, _run_sweep_batched,
+              _teardown_tmpdir),
 ]
 
 

@@ -182,6 +182,23 @@ class ExecutionKernel(ABC):
         """Execute one block on simulator ``sim``; returns
         ``(exit_instruction, exit_time, done_time)``."""
 
+    def attach(self, sim) -> None:
+        """Hook called once, at the end of simulator construction.
+
+        All resource pools are empty at that point, so a backend may
+        swap in faster (timing-identical) pool implementations or
+        precompute simulator-wide tables.  The default does nothing.
+        """
+
+    def capabilities(self) -> Dict[str, bool]:
+        """Machine-readable feature flags for ``repro config show``.
+
+        Keys: ``vectorized`` (numpy-accelerated analysis active) and
+        ``skip_ahead`` (interval-based resource arbitration).  Backends
+        override to report what they actually enabled.
+        """
+        return {"vectorized": False, "skip_ahead": False}
+
 
 # ---------------------------------------------------------------------------
 # Registry

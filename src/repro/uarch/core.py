@@ -155,11 +155,17 @@ class CycleSimulator:
         # Predicate predictor (Section 7 extension): static predicate arc
         # -> [last value, 2-bit confidence].
         self._pred_table: Dict[Tuple[str, int], List[int]] = {}
+        # label -> {id(exit inst): exit number} (see _exit_number).
+        self._exit_numbers: Dict[str, Dict[int, int]] = {}
 
         self._commit_times: List[int] = []      # ring of recent commits
         self._prev_commit = 0
         for address, payload in self.program.globals_image:
             self.memory.write_bytes(address, payload)
+        # Backend hook: the simulator is fully wired and every resource
+        # pool is still empty, so a kernel may swap pools or precompute
+        # tables here (see ExecutionKernel.attach).
+        self.kernel.attach(self)
 
     # -- program loop ------------------------------------------------------------
 
@@ -314,10 +320,14 @@ class CycleSimulator:
         return effective
 
     def _exit_number(self, block: TripsBlock, exit_inst: TInst) -> int:
-        for number, candidate in enumerate(block.exits):
-            if candidate is exit_inst:
-                return number
-        return 0
+        # Memoized per label: block bodies are static for the life of a
+        # run, and ``block.exits`` rebuilds its list on every access.
+        numbers = self._exit_numbers.get(block.label)
+        if numbers is None:
+            numbers = self._exit_numbers[block.label] = {
+                id(candidate): number
+                for number, candidate in enumerate(block.exits)}
+        return numbers.get(id(exit_inst), 0)
 
     # -- fetch -------------------------------------------------------------------
 

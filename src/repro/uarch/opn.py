@@ -153,6 +153,11 @@ class OperandNetwork:
         self.links = ResourcePool()
         self.stats = OpnStats(classes=topology.traffic_classes,
                               hop_buckets=topology.hop_buckets)
+        # (src, dst) -> ((link, resource), ...): materialized routes for
+        # the cached fast path (see send_cached).  Built lazily, so it
+        # always captures resources from the *current* links pool — the
+        # batched kernel swaps the pool before the first packet flows.
+        self._route_cache: Dict[Tuple[Coord, Coord], tuple] = {}
         #: Optional :class:`repro.trace.Tracer`; ``None`` (the default)
         #: skips all event construction.
         self.tracer = tracer
@@ -201,3 +206,107 @@ class OperandNetwork:
             hops += 1
         self.stats.record(klass, hops, queued)
         return time
+
+    def send_cached(self, src: Coord, dst: Coord, ready: int,
+                    klass: str) -> int:
+        """:meth:`send` with the route and its link resources cached.
+
+        Timing-identical to :meth:`send` (same claims in the same
+        order, same statistics, same ``opn_hop`` emissions) but the
+        dimension-order route is materialized once per (src, dst) pair
+        as a tuple of ``(link, resource)`` entries, so the steady state
+        skips route recomputation, per-hop pool lookups, and the
+        statistics call.  Used by the batched kernel; multi-channel
+        topologies fall back to :meth:`send` because channel choice
+        depends on dynamic occupancy.
+        """
+        stats = self.stats
+        if src == dst:
+            stats.packets[klass] = stats.packets.get(klass, 0) + 1
+            stats.hops[klass] = stats.hops.get(klass, 0) + 0
+            key = (klass, 0)
+            histogram = stats.hop_histogram
+            histogram[key] = histogram.get(key, 0) + 1
+            return ready
+        cached = self._route_cache.get((src, dst))
+        if cached is None:
+            if self.topology.link_channels != 1:
+                return self.send(src, dst, ready, klass)
+            cached = self._route_cache[(src, dst)] = tuple(
+                (link, self.links.resource(link))
+                for link in self.topology.route(src, dst))
+        time = ready
+        queued = 0
+        tracer = self.tracer
+        hop_cycles = self.hop_cycles
+        for link, resource in cached:
+            start = resource.claim(time)
+            if tracer is not None:
+                (sx, sy), (dx, dy) = link
+                tracer.emit("opn_hop", start, klass=klass, sx=sx, sy=sy,
+                            dx=dx, dy=dy, wait=start - time)
+            queued += start - time
+            time = start + hop_cycles
+        hops = len(cached)
+        stats.packets[klass] = stats.packets.get(klass, 0) + 1
+        stats.hops[klass] = stats.hops.get(klass, 0) + hops
+        key = (klass, hops if hops < stats.hop_buckets else stats.hop_buckets)
+        histogram = stats.hop_histogram
+        histogram[key] = histogram.get(key, 0) + 1
+        stats.queue_cycles += queued
+        return time
+
+    def sender(self, src: Coord, dst: Coord, klass: str):
+        """A bound ``ready -> arrival`` closure for one fixed packet shape.
+
+        The fastest delivery path: the route, its link resources, the
+        hop count, and the histogram key are all resolved at creation,
+        so each call is just the per-link claims plus the statistics
+        increments — timing- and statistics-identical to :meth:`send`.
+        Statistics keys are created on first *use*, not creation, so a
+        sender that never fires leaves no zero entries behind.
+
+        Only valid while ``self.tracer is None`` (there is no per-hop
+        event emission); callers with a tracer must use :meth:`send` or
+        :meth:`send_cached`.
+        """
+        stats = self.stats
+        packets = stats.packets
+        total_hops = stats.hops
+        histogram = stats.hop_histogram
+        if src == dst:
+            histkey = (klass, 0)
+
+            def send_local(ready: int) -> int:
+                packets[klass] = packets.get(klass, 0) + 1
+                total_hops[klass] = total_hops.get(klass, 0)
+                histogram[histkey] = histogram.get(histkey, 0) + 1
+                return ready
+
+            return send_local
+        if self.topology.link_channels != 1:
+            def send_multi(ready: int) -> int:
+                return self.send(src, dst, ready, klass)
+
+            return send_multi
+        claims = tuple(self.links.resource(link).claim
+                       for link in self.topology.route(src, dst))
+        hops = len(claims)
+        histkey = (klass,
+                   hops if hops < stats.hop_buckets else stats.hop_buckets)
+        hop_cycles = self.hop_cycles
+
+        def send_fast(ready: int) -> int:
+            time = ready
+            queued = 0
+            for claim in claims:
+                start = claim(time)
+                queued += start - time
+                time = start + hop_cycles
+            packets[klass] = packets.get(klass, 0) + 1
+            total_hops[klass] = total_hops.get(klass, 0) + hops
+            histogram[histkey] = histogram.get(histkey, 0) + 1
+            stats.queue_cycles += queued
+            return time
+
+        return send_fast

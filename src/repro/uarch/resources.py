@@ -15,7 +15,8 @@ maximum seen, so pruning below a trailing horizon is safe in practice).
 
 from __future__ import annotations
 
-from typing import Set
+from bisect import bisect_right
+from typing import List, Set
 
 #: Prune when the claimed set exceeds this size...
 _PRUNE_LIMIT = 8192
@@ -61,10 +62,112 @@ class CycleResource:
         return t
 
 
+class SkipAheadResource:
+    """Interval-based :class:`CycleResource` that jumps over busy runs.
+
+    Semantically identical to :class:`CycleResource` — same claims, same
+    results, same pruning horizon — but the claimed cycles are stored as
+    sorted disjoint runs ``[start, end)`` instead of a hash set.  A claim
+    landing inside a busy run advances to the run's end in **one bisect**
+    instead of walking it cycle by cycle; this is the event-driven
+    skip-ahead the batched kernel's contended resources (OPN links under
+    operand bursts, DRAM channel occupancy) benefit from.
+
+    The equivalence hinges on the pruning bookkeeping: ``count`` tracks
+    the total claimed-cycle population (equal to the scalar set's size,
+    since the runs are disjoint), so pruning triggers on exactly the
+    same claim, computes the same horizon, and therefore advances
+    ``floor`` identically — the only way pruning can influence a later
+    claim's result.
+    """
+
+    __slots__ = ("starts", "ends", "floor", "max_seen", "count")
+
+    def __init__(self) -> None:
+        self.starts: List[int] = []
+        self.ends: List[int] = []
+        self.floor = 0
+        self.max_seen = 0
+        self.count = 0
+
+    def claim(self, cycle: int) -> int:
+        """Reserve the first free cycle >= ``cycle``; returns it."""
+        floor = self.floor
+        t = cycle if cycle > floor else floor
+        starts = self.starts
+        ends = self.ends
+        # Frontier fast path: claims overwhelmingly land at or beyond
+        # the newest run, where extending or appending is O(1) — no
+        # bisect, no mid-list insertion.
+        if not starts:
+            starts.append(t)
+            ends.append(t + 1)
+        elif t >= ends[-1]:
+            if t == ends[-1]:
+                ends[-1] = t + 1
+            else:
+                starts.append(t)
+                ends.append(t + 1)
+        elif t >= starts[-1]:
+            # Inside the newest (busy) run: skip to its end in one jump.
+            t = ends[-1]
+            ends[-1] = t + 1
+        else:
+            i = bisect_right(starts, t) - 1
+            if i >= 0 and t < ends[i]:
+                # Busy run: skip to its end in one jump and extend it.
+                t = ends[i]
+                nxt = i + 1
+                if starts[nxt] == t + 1:
+                    ends[i] = ends[nxt]
+                    del starts[nxt], ends[nxt]
+                else:
+                    ends[i] = t + 1
+            else:
+                nxt = i + 1
+                prev_touch = i >= 0 and ends[i] == t
+                next_touch = starts[nxt] == t + 1
+                if prev_touch and next_touch:
+                    ends[i] = ends[nxt]
+                    del starts[nxt], ends[nxt]
+                elif prev_touch:
+                    ends[i] = t + 1
+                elif next_touch:
+                    starts[nxt] = t
+                else:
+                    starts.insert(nxt, t)
+                    ends.insert(nxt, t + 1)
+        self.count += 1
+        if t > self.max_seen:
+            self.max_seen = t
+        if self.count > _PRUNE_LIMIT:
+            horizon = self.max_seen - _HORIZON
+            drop = bisect_right(self.ends, horizon)
+            if drop:
+                del self.starts[:drop], self.ends[:drop]
+            if self.starts and self.starts[0] < horizon:
+                self.starts[0] = horizon
+            self.floor = max(self.floor, horizon)
+            self.count = sum(end - start for start, end
+                             in zip(self.starts, self.ends))
+        return t
+
+    def probe(self, cycle: int) -> int:
+        """First free cycle >= ``cycle`` *without* reserving it."""
+        t = max(cycle, self.floor)
+        i = bisect_right(self.starts, t) - 1
+        if i >= 0 and t < self.ends[i]:
+            return self.ends[i]
+        return t
+
+
 class ResourcePool:
     """A lazily populated family of :class:`CycleResource` by key."""
 
     __slots__ = ("resources",)
+
+    #: Resource type new keys materialize (subclasses override).
+    resource_class = CycleResource
 
     def __init__(self) -> None:
         self.resources = {}
@@ -72,7 +175,7 @@ class ResourcePool:
     def claim(self, key, cycle: int) -> int:
         resource = self.resources.get(key)
         if resource is None:
-            resource = self.resources[key] = CycleResource()
+            resource = self.resources[key] = self.resource_class()
         return resource.claim(cycle)
 
     def probe(self, key, cycle: int) -> int:
@@ -83,3 +186,28 @@ class ResourcePool:
         """
         resource = self.resources.get(key)
         return cycle if resource is None else resource.probe(cycle)
+
+    def resource(self, key):
+        """Materialize and return the resource behind ``key``.
+
+        Hot paths that claim the same key many times (the batched
+        kernel's cached OPN routes) hold the resource object directly
+        and skip the per-claim dictionary lookup.
+        """
+        resource = self.resources.get(key)
+        if resource is None:
+            resource = self.resources[key] = self.resource_class()
+        return resource
+
+
+class SkipAheadPool(ResourcePool):
+    """A :class:`ResourcePool` of interval-based skip-ahead resources.
+
+    Drop-in for :class:`ResourcePool` (the batched kernel swaps the
+    simulator's pools for these at attach time, before any claims
+    exist); every claim returns the same cycle the scalar pool would.
+    """
+
+    __slots__ = ()
+
+    resource_class = SkipAheadResource

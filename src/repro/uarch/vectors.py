@@ -1,0 +1,111 @@
+"""Optional numpy acceleration for the batched simulation backend.
+
+The batched kernel (:class:`repro.uarch.kernels.BatchedKernel`)
+vectorizes the *static* per-block analysis it caches per label —
+dispatch-slot offsets, initial ready-instruction selection, and
+cache-bank index math — with numpy when it is importable, and with
+pure-Python equivalents otherwise.  Both paths produce identical
+results; numpy is strictly a performance option, never a dependency
+(the CI fallback job proves the no-numpy path end to end).
+
+Gating:
+
+* numpy is imported lazily, on first use, so ``import repro`` and the
+  scalar kernel never pay the (large) numpy import cost;
+* setting ``REPRO_NO_NUMPY`` to any non-empty value forces the
+  pure-Python path even when numpy is installed — this is how the CI
+  fallback leg and the differential tests pin the path under test.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "bank_of_many", "dispatch_offsets", "get_numpy", "initial_ready",
+    "numpy_available", "pow2_shift_mask",
+]
+
+_NUMPY = None        # the module, once successfully imported
+_TRIED = False       # whether an import has been attempted
+
+
+def get_numpy():
+    """The numpy module, or ``None`` (absent or disabled).
+
+    The result is cached after the first call; ``REPRO_NO_NUMPY`` is
+    consulted on every call so a test can flip the gate without
+    reloading the module (an already-imported numpy is simply ignored).
+    """
+    global _NUMPY, _TRIED
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    if not _TRIED:
+        _TRIED = True
+        try:
+            import numpy
+            _NUMPY = numpy
+        except ImportError:
+            _NUMPY = None
+    return _NUMPY
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized path is active (installed and enabled)."""
+    return get_numpy() is not None
+
+
+def dispatch_offsets(n: int, bandwidth: int) -> List[int]:
+    """Per-instruction dispatch-cycle offsets: ``i // bandwidth``.
+
+    The kernel adds these to the activation's dispatch base; caching the
+    offsets makes the per-activation cost a single addition per fire.
+    """
+    np = get_numpy()
+    if np is not None:
+        return (np.arange(n) // bandwidth).tolist()
+    return [i // bandwidth for i in range(n)]
+
+
+def initial_ready(need: Sequence[int],
+                  has_pred: Sequence[bool]) -> Tuple[int, ...]:
+    """Indices ready at dispatch: zero operands and no predicate guard.
+
+    Ascending order — the same order the scalar kernel seeds its ready
+    list in, which matters because the worklist is a LIFO.
+    """
+    np = get_numpy()
+    if np is not None:
+        need_arr = np.asarray(need, dtype=np.int64)
+        pred_arr = np.asarray(has_pred, dtype=bool)
+        return tuple(int(i) for i in
+                     np.nonzero((need_arr == 0) & ~pred_arr)[0])
+    return tuple(i for i, (count, pred) in enumerate(zip(need, has_pred))
+                 if count == 0 and not pred)
+
+
+def pow2_shift_mask(line_bytes: int,
+                    banks: int) -> Optional[Tuple[int, int]]:
+    """``(shift, mask)`` so that ``(addr >> shift) & mask`` equals
+    ``(addr // line_bytes) % banks``, or ``None`` when the geometry is
+    not a power of two and the division form must be kept."""
+    if line_bytes <= 0 or banks <= 0:
+        return None
+    if line_bytes & (line_bytes - 1) or banks & (banks - 1):
+        return None
+    return line_bytes.bit_length() - 1, banks - 1
+
+
+def bank_of_many(addresses: Sequence[int], line_bytes: int,
+                 banks: int) -> List[int]:
+    """Vectorized cache-bank lookup for a batch of addresses.
+
+    Equivalent to ``[(a // line_bytes) % banks for a in addresses]``;
+    used by analysis paths that classify many addresses at once.
+    """
+    np = get_numpy()
+    if np is not None:
+        arr = np.asarray(addresses, dtype=np.int64)
+        return ((arr // line_bytes) % banks).tolist()
+    return [(address // line_bytes) % banks for address in addresses]
