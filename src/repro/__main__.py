@@ -21,14 +21,22 @@ Subcommands:
   artifacts under an injected ``--faults`` plan, then verify and heal
   the cache; prints the run report and any quarantine incidents
   (``docs/ROBUSTNESS.md`` documents the plan format and semantics).
+  ``chaos --sweep SPEC`` instead SIGKILLs a subprocess sweep
+  mid-journal (the ``kill-driver`` fault), resumes it, and asserts the
+  records match an uninterrupted run — the crash-safety drill.
 * ``sweep SPEC`` — design-space exploration: expand a declarative
   sweep spec (named preset or JSON/TOML file) into a validated grid of
   design points, simulate them under supervision (``--jobs N``,
   cache-resumable, failed points become annotated holes), and write
   per-point JSONL, a per-axis sensitivity table, a Pareto frontier
-  CSV, and a markdown summary (``docs/SWEEP.md``).
+  CSV, a markdown summary, the fsync'd execution journal, and an
+  attested repro pack (``docs/SWEEP.md``).  A killed sweep resumes
+  with ``--resume``; ``--shards N --shard-id K`` runs one
+  lease-coordinated shard of the grid with work stealing.
 * ``frontier SWEEP_DIR`` — re-analyze a finished sweep directory:
   print the (IPC, cost) Pareto frontier without re-simulating.
+* ``pack verify|create SWEEP_DIR`` — attest or audit a sweep
+  directory against its checksummed ``pack.json`` manifest.
 * ``perf run|compare|list`` — host-performance benchmark harness:
   time the simulators' hot paths with calibrated repetition and write
   a schema-versioned ``BENCH_<YYYYMMDD>.json``; compare two BENCH
@@ -49,6 +57,7 @@ Pipeline options (on ``run``, ``asm``, and ``report``):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -318,6 +327,102 @@ def _cmd_report(args, runner) -> int:
     return 0 if report.ok else 1
 
 
+def _chaos_sweep_drill(args, runner, plan) -> int:
+    """The kill->resume determinism drill behind ``chaos --sweep``.
+
+    1. Run the sweep in a **subprocess** with the fault plan: a
+       ``kill-driver`` fault SIGKILLs it the instant the matching
+       point's claim hits the journal (a dead driver must really die —
+       in-process simulation of a SIGKILL would prove nothing).
+    2. Resume the same directory in this process — *without* the
+       plan, as a real operator would (activation is pure, so passing
+       it again would simply kill the resumed driver too).
+    3. Run an uninterrupted reference sweep into a sibling directory
+       sharing the same cache, and assert record-for-record equality
+       modulo run ids, plus a clean ``pack verify``.
+    """
+    import subprocess
+    from pathlib import Path
+
+    import repro
+    from repro.explore import (
+        load_spec, preset_names, preset_spec, read_journal, records_equal,
+        run_sweep, verify_pack,
+    )
+    from repro.explore.journal import JOURNAL_FILE
+    from repro.explore.spec import SpecError
+
+    try:
+        spec = preset_spec(args.sweep_spec) \
+            if args.sweep_spec in preset_names() \
+            else load_spec(args.sweep_spec)
+    except (SpecError, FileNotFoundError) as exc:
+        print(f"bad --sweep spec: {exc}", file=sys.stderr)
+        return 2
+    cache_dir = runner.pipeline.store.base
+    out_dir = Path(args.out) if args.out else \
+        Path("sweeps") / f"chaos-{spec.name}"
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                      else []))
+    # Serial execution (--jobs 1): the SIGKILL must not orphan pool
+    # workers, and the claim order must be deterministic.
+    cmd = [sys.executable, "-m", "repro", "sweep", args.sweep_spec,
+           "--out", str(out_dir), "--cache-dir", str(cache_dir),
+           "--jobs", "1", "--faults", args.faults,
+           "--seed", str(args.seed)]
+    print(f"chaos sweep drill: {spec.name} under [{plan.describe()}]",
+          file=sys.stderr)
+    print(f"  [1/3] driver: {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                          timeout=600)
+    killed = proc.returncode < 0 or proc.returncode == 137
+    has_kill = any(f.kind == "kill-driver" for f in plan.faults)
+    if has_kill and not killed:
+        print(f"  drill FAILED: kill-driver fault never fired "
+              f"(driver exited {proc.returncode})", file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+        return 1
+    print(f"  driver terminated: returncode {proc.returncode}"
+          + (" (killed)" if killed else ""), file=sys.stderr)
+
+    state = read_journal(out_dir / JOURNAL_FILE)
+    terminal = len(state.outcomes)
+    print(f"  [2/3] resuming: {terminal} terminal outcome(s) in the "
+          f"journal", file=sys.stderr)
+    resumed = run_sweep(spec, cache_dir, out_dir, resume=True,
+                        telemetry=runner.pipeline.telemetry)
+    print(f"  {resumed.summary_line()}", file=sys.stderr)
+
+    print(f"  [3/3] uninterrupted reference sweep", file=sys.stderr)
+    ref_dir = out_dir.parent / (out_dir.name + "-ref")
+    reference = run_sweep(spec, cache_dir, ref_dir,
+                          telemetry=runner.pipeline.telemetry)
+
+    problems = []
+    if resumed.replayed != terminal:
+        problems.append(
+            f"resume replayed {resumed.replayed} point(s) but the "
+            f"journal held {terminal} terminal outcome(s) — "
+            f"journal-terminal points were re-executed")
+    if not records_equal(resumed.records, reference.records):
+        problems.append("resumed records differ from the uninterrupted "
+                        "sweep's (beyond run ids)")
+    problems.extend(f"pack: {p}" for p in verify_pack(out_dir))
+    if problems:
+        print("chaos sweep drill FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"chaos sweep drill ok: killed at claim, resumed "
+          f"{len(resumed.records)} records byte-identical to the "
+          f"uninterrupted sweep (modulo run ids); pack verifies")
+    return 0
+
+
 def _cmd_chaos(args, runner) -> int:
     from repro.pipeline.parallel import warm_benchmarks
     from repro.robust import FaultPlan, RetryPolicy, RunReport
@@ -331,6 +436,12 @@ def _cmd_chaos(args, runner) -> int:
     except ValueError as exc:
         print(f"bad --faults plan: {exc}", file=sys.stderr)
         return 2
+    if (args.benchmark is None) == (args.sweep_spec is None):
+        print("chaos needs exactly one target: a benchmark, or "
+              "--sweep SPEC", file=sys.stderr)
+        return 2
+    if args.sweep_spec is not None:
+        return _chaos_sweep_drill(args, runner, plan)
     policy = RetryPolicy(max_attempts=args.retries + 1, seed=args.seed)
     report = RunReport()
     cache_root = runner.pipeline.store.base
@@ -386,7 +497,8 @@ def _cmd_sweep(args, runner) -> int:
     from pathlib import Path
 
     from repro.explore import (
-        expand, preset_names, preset_spec, run_sweep, run_sweep_batched,
+        JournalError, expand, preset_names, preset_spec, run_sweep,
+        run_sweep_batched,
     )
     from repro.explore.spec import SpecError
     from repro.robust import FaultPlan, RetryPolicy
@@ -411,6 +523,17 @@ def _cmd_sweep(args, runner) -> int:
         print("--batch runs all points in this process: it cannot "
               "combine with --jobs or --faults", file=sys.stderr)
         return 2
+    if args.batch and args.shards:
+        print("--shards coordinates supervised drivers: it cannot "
+              "combine with --batch", file=sys.stderr)
+        return 2
+    if args.shard_id is not None and not args.shards:
+        print("--shard-id requires --shards", file=sys.stderr)
+        return 2
+    if args.no_steal and args.shard_id is None:
+        print("--no-steal requires --shard-id (a preferred shard to "
+              "stop after)", file=sys.stderr)
+        return 2
     faults = None
     if args.faults:
         try:
@@ -420,33 +543,80 @@ def _cmd_sweep(args, runner) -> int:
             return 2
 
     out_dir = Path(args.out) if args.out else Path("sweeps") / spec.name
-    mode = "batch" if args.batch else f"jobs={args.jobs}"
+    if args.shards:
+        mode = f"shards={args.shards}" + (
+            f" shard-id={args.shard_id}" if args.shard_id is not None
+            else "")
+    else:
+        mode = "batch" if args.batch else f"jobs={args.jobs}"
     print(f"sweep {spec.name}: {len(points)} points over "
           f"{len(spec.benchmarks)} benchmark(s) x "
           f"{' x '.join(f'{name}[{len(values)}]' for name, values in spec.axes)}"
           f", {mode}", file=sys.stderr)
-    if args.batch:
-        result = run_sweep_batched(
-            spec, cache_dir=runner.pipeline.store.base, out_dir=out_dir,
-            telemetry=runner.pipeline.telemetry,
-            progress=lambda label: print(f"done {label}",
-                                         file=sys.stderr))
-    else:
-        result = run_sweep(
-            spec, cache_dir=runner.pipeline.store.base, out_dir=out_dir,
-            jobs=args.jobs,
-            policy=RetryPolicy(max_attempts=args.retries + 1,
-                               seed=args.seed if args.faults else 0),
-            stage_timeout=args.stage_timeout, faults=faults,
-            telemetry=runner.pipeline.telemetry,
-            progress=lambda label: print(f"done {label}", file=sys.stderr))
+    policy = RetryPolicy(max_attempts=args.retries + 1,
+                         seed=args.seed if args.faults else 0)
+    progress = lambda label: print(f"done {label}", file=sys.stderr)
+    try:
+        if args.shards:
+            from repro.explore import run_sweep_sharded
+            from repro.explore.shard import DEFAULT_TTL
 
-    print(result.summary_line())
+            sharded = run_sweep_sharded(
+                spec, cache_dir=runner.pipeline.store.base,
+                out_dir=out_dir, shards=args.shards,
+                shard_id=args.shard_id, steal=not args.no_steal,
+                jobs=args.jobs, policy=policy,
+                stage_timeout=args.stage_timeout,
+                telemetry=runner.pipeline.telemetry, progress=progress,
+                ttl=args.lease_ttl or DEFAULT_TTL)
+            print(sharded.summary_line())
+            if sharded.merged is None:
+                return 0       # progressed; another driver will merge
+            result = sharded.merged
+        elif args.batch:
+            result = run_sweep_batched(
+                spec, cache_dir=runner.pipeline.store.base,
+                out_dir=out_dir, resume=args.resume,
+                telemetry=runner.pipeline.telemetry, progress=progress)
+            print(result.summary_line())
+        else:
+            result = run_sweep(
+                spec, cache_dir=runner.pipeline.store.base,
+                out_dir=out_dir, jobs=args.jobs, policy=policy,
+                stage_timeout=args.stage_timeout, faults=faults,
+                telemetry=runner.pipeline.telemetry, progress=progress,
+                resume=args.resume)
+            print(result.summary_line())
+    except JournalError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+
     names = ", ".join(sorted(p.name for p in result.artifacts.values()))
     print(f"wrote {result.out_dir}/{{{names}}}")
     if result.report.eventful:
         print(result.report.render())
     return 0 if result.ok else 1
+
+
+def _cmd_pack(args, _runner) -> int:
+    from repro.explore.pack import PackError, verify_pack, write_pack
+
+    if args.pack_command == "create":
+        path = write_pack(args.sweep_dir)
+        print(f"wrote {path}")
+        return 0
+    try:
+        problems = verify_pack(args.sweep_dir)
+    except PackError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if problems:
+        print(f"pack verify FAILED: {args.sweep_dir}")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"pack verify ok: {args.sweep_dir}")
+    return 0
 
 
 def _cmd_frontier(args, _runner) -> int:
@@ -724,12 +894,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos_p = sub.add_parser(
         "chaos", help="fault-injection drill against the warm pipeline")
-    chaos_p.add_argument("benchmark")
+    chaos_p.add_argument("benchmark", nargs="?", default=None)
     chaos_p.add_argument("--faults", required=True, metavar="PLAN",
                          help="comma-separated kind:site[:times[:seconds]] "
                               "faults (kinds: corrupt-cache-entry, "
-                              "kill-worker, slow-stage, flaky-stage); see "
-                              "docs/ROBUSTNESS.md")
+                              "kill-worker, slow-stage, flaky-stage, "
+                              "kill-driver); see docs/ROBUSTNESS.md")
+    chaos_p.add_argument("--sweep", default=None, metavar="SPEC",
+                         dest="sweep_spec",
+                         help="instead of a benchmark drill: SIGKILL a "
+                              "subprocess sweep of SPEC mid-journal "
+                              "(kill-driver fault), resume it, and "
+                              "assert the records match an "
+                              "uninterrupted sweep")
+    chaos_p.add_argument("--out", default=None, metavar="DIR",
+                         help="with --sweep: the drilled sweep's "
+                              "output directory (default "
+                              "sweeps/chaos-<spec>)")
     chaos_p.add_argument("--jobs", type=int, default=2, metavar="N",
                          help="warm worker processes (default 2)")
     chaos_p.add_argument("--seed", type=int, default=0, metavar="N",
@@ -764,6 +945,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "(docs/ROBUSTNESS.md syntax)")
     sweep_p.add_argument("--seed", type=int, default=0, metavar="N",
                          help="seed for the fault plan and retry backoff")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="replay the journal already in --out and "
+                              "execute only unfinished points (hard "
+                              "error if the journal belongs to a "
+                              "different spec)")
+    sweep_p.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="split the grid N ways and run as a "
+                              "lease-coordinated sharded driver "
+                              "(docs/SWEEP.md); incompatible with "
+                              "--batch")
+    sweep_p.add_argument("--shard-id", type=int, default=None,
+                         metavar="K",
+                         help="with --shards: claim shard K first "
+                              "(0-based), then steal others")
+    sweep_p.add_argument("--no-steal", action="store_true",
+                         help="with --shards/--shard-id: run only the "
+                              "preferred shard, leaving the rest to "
+                              "other drivers")
+    sweep_p.add_argument("--lease-ttl", type=float, default=None,
+                         metavar="SECONDS",
+                         help="heartbeat TTL before a shard lease is "
+                              "considered stale and reclaimable "
+                              "(default 120)")
     _add_robust_options(sweep_p)
     _add_pipeline_options(sweep_p)
 
@@ -771,6 +975,19 @@ def build_parser() -> argparse.ArgumentParser:
         "frontier", help="Pareto frontier and sensitivity of a sweep")
     frontier_p.add_argument("sweep_dir",
                             help="a sweep's --out directory")
+
+    pack_p = sub.add_parser(
+        "pack", help="attested repro packs for sweep directories")
+    pack_sub = pack_p.add_subparsers(dest="pack_command", required=True)
+    pack_verify = pack_sub.add_parser(
+        "verify", help="check a sweep directory against its pack.json "
+                       "(exit 1 on any tampered byte)")
+    pack_verify.add_argument("sweep_dir", help="an attested sweep "
+                                              "directory")
+    pack_create = pack_sub.add_parser(
+        "create", help="(re)write pack.json attesting the directory as "
+                       "it stands now")
+    pack_create.add_argument("sweep_dir", help="a sweep directory")
 
     config_p = sub.add_parser(
         "config", help="inspect the resolved microarchitecture config")
@@ -861,9 +1078,10 @@ def main(argv=None) -> int:
                "asm": _cmd_asm, "report": _cmd_report,
                "chaos": _cmd_chaos, "sweep": _cmd_sweep,
                "frontier": _cmd_frontier, "perf": _cmd_perf,
-               "config": _cmd_config}[args.command]
+               "config": _cmd_config, "pack": _cmd_pack}[args.command]
     runner = _make_runner(args) \
-        if args.command not in ("list", "frontier", "perf", "config") \
+        if args.command not in ("list", "frontier", "perf", "config",
+                                "pack") \
         else None
     try:
         return handler(args, runner)

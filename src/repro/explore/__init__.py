@@ -20,8 +20,16 @@ the subsystem that runs such studies wholesale:
   recovery via :mod:`repro.robust`, failed points recorded as holes.
 * :mod:`repro.explore.analyze` — per-axis sensitivity, Pareto
   frontiers over (IPC, cost), CSV/JSONL artifacts, markdown summary.
+* :mod:`repro.explore.journal` — the append-only, fsync'd sweep
+  journal behind ``repro sweep --resume``: a killed driver loses no
+  terminal outcome.
+* :mod:`repro.explore.shard` — lease-coordinated sharded execution
+  (``--shards N --shard-id K``) with work stealing and a merge step.
+* :mod:`repro.explore.pack` — attested repro packs (``pack.json``)
+  verified end-to-end by ``repro pack verify``.
 
-See ``docs/SWEEP.md`` for the spec schema and worked examples.
+See ``docs/SWEEP.md`` for the spec schema and worked examples, and
+``docs/ROBUSTNESS.md`` for the journal/lease/pack protocols.
 """
 
 from repro.explore.analyze import (
@@ -32,7 +40,17 @@ from repro.explore.engine import (
     SweepResult, run_sweep, run_sweep_batched, warm_point,
 )
 from repro.explore.grid import DesignPoint, MAX_POINTS, expand
+from repro.explore.journal import (
+    JOURNAL_FILE, JournalError, JournalState, SweepJournal, read_journal,
+    records_equal, spec_fingerprint,
+)
+from repro.explore.pack import (
+    PACK_FILE, PackError, build_manifest, verify_pack, write_pack,
+)
 from repro.explore.presets import PRESETS, preset_names, preset_spec
+from repro.explore.shard import (
+    Lease, ShardedSweepResult, merge_shards, run_sweep_sharded,
+)
 from repro.explore.spec import (
     IDEAL_AXES, SpecError, SweepSpec, load_spec, parse_overrides,
 )
@@ -40,23 +58,39 @@ from repro.explore.spec import (
 __all__ = [
     "DesignPoint",
     "IDEAL_AXES",
+    "JOURNAL_FILE",
+    "JournalError",
+    "JournalState",
+    "Lease",
     "MAX_POINTS",
+    "PACK_FILE",
     "PRESETS",
+    "PackError",
+    "ShardedSweepResult",
     "SpecError",
+    "SweepJournal",
     "SweepResult",
     "SweepSpec",
     "aggregate_configs",
+    "build_manifest",
     "expand",
     "load_points",
     "load_spec",
+    "merge_shards",
     "pareto_frontier",
     "parse_overrides",
     "point_cost",
     "preset_names",
     "preset_spec",
+    "read_journal",
+    "records_equal",
     "run_sweep",
     "run_sweep_batched",
+    "run_sweep_sharded",
     "sensitivity_rows",
+    "spec_fingerprint",
+    "verify_pack",
     "warm_point",
     "write_artifacts",
+    "write_pack",
 ]

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.explore.grid import baseline_settings
+from repro.explore.journal import spec_document
 from repro.explore.spec import SweepSpec
 from repro.uarch.config import TripsConfig
 
@@ -306,14 +307,11 @@ def write_artifacts(out_dir, spec: SweepSpec,
     paths[REPORT_FILE].write_text(
         json.dumps(report_dict, indent=2, sort_keys=True) + "\n",
         encoding="utf-8")
+    # The same canonical document the journal header and the pack's
+    # spec digest are computed over — the three can never drift apart.
     paths[SPEC_FILE].write_text(
-        json.dumps({
-            "name": spec.name, "description": spec.description,
-            "system": spec.system, "variant": spec.variant,
-            "benchmarks": list(spec.benchmarks),
-            "axes": {name: list(values) for name, values in spec.axes},
-            "fixed": dict(spec.fixed),
-        }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        json.dumps(spec_document(spec), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
     paths[SUMMARY_FILE].write_text(
         render_summary(spec, records, rows, sensitivity, simulated,
                        reused), encoding="utf-8")

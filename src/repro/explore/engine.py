@@ -16,10 +16,19 @@ engine its two headline properties for free:
   annotated *holes* in the results (never an aborted sweep), with the
   whole story in the sweep's :class:`~repro.robust.RunReport`.
 
+Both properties survive the death of the **driver itself** via the
+sweep journal (:mod:`repro.explore.journal`): every point's claim and
+terminal outcome is fsync'd to ``journal.jsonl`` in the output
+directory as it happens, and ``resume=True`` (CLI ``--resume``)
+replays terminal outcomes verbatim — ok points *and* holes — so only
+unclaimed/unfinished points execute.  Replay is by record, not by
+cache: a resumed sweep re-simulates nothing for journal-terminal
+points even against an empty cache.
+
 Execution is the same two-phase shape as ``report all``: workers warm
 the shared on-disk store (one point per task), then the parent process
-collects every artifact — all disk hits — into per-point records for
-the analysis layer.
+collects every artifact — all disk hits — into per-point records as
+each unit resolves.
 """
 
 from __future__ import annotations
@@ -32,12 +41,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro import runctx
 from repro.explore.analyze import write_artifacts
 from repro.explore.grid import DesignPoint, expand
+from repro.explore.journal import JOURNAL_FILE, SweepJournal, read_journal
+from repro.explore.pack import write_pack
 from repro.explore.spec import SweepSpec
 from repro.pipeline.core import Pipeline
 from repro.pipeline.observe import Telemetry
 from repro.robust import (
     COMPLETED, FAILED, FaultPlan, RetryPolicy, RunReport,
-    apply_unit_faults, supervise_units,
+    apply_driver_fault, apply_unit_faults, supervise_units,
 )
 from repro.uarch.config import TripsConfig
 
@@ -108,6 +119,9 @@ class SweepResult:
     artifacts: Dict[str, Path] = field(default_factory=dict)
     simulated: int = 0
     reused: int = 0
+    #: Points whose terminal record came from the journal (``--resume``)
+    #: instead of execution — ok points and holes alike.
+    replayed: int = 0
     seconds: float = 0.0
 
     @property
@@ -119,11 +133,105 @@ class SweepResult:
         return not self.holes
 
     def summary_line(self) -> str:
-        return (f"sweep {self.spec.name}: {len(self.records)} points — "
+        line = (f"sweep {self.spec.name}: {len(self.records)} points — "
                 f"{len(self.records) - len(self.holes)} ok, "
                 f"{len(self.holes)} holes; simulations: "
                 f"{self.simulated} computed, {self.reused} reused from "
-                f"cache; {self.seconds:.1f}s")
+                f"cache")
+        if self.replayed:
+            line += f", {self.replayed} replayed from journal"
+        return line + f"; {self.seconds:.1f}s"
+
+
+def _open_journal(out_dir: Path, spec: SweepSpec, run_id: str,
+                  resume: bool, known_labels,
+                  fsync: bool) -> "tuple[SweepJournal, Dict[str, Any]]":
+    """Create (fresh) or resume (``--resume``) the sweep journal.
+
+    Returns the open journal plus the replayed terminal records, keyed
+    by label and filtered to the points this invocation covers.  A
+    fresh sweep truncates any previous journal — rerunning without
+    ``--resume`` deliberately means "this run's ledger starts here"
+    (the artifact cache, not the journal, carries warm reuse).
+    """
+    path = out_dir / JOURNAL_FILE
+    if not resume:
+        return SweepJournal.create(path, spec, run_id, fsync=fsync), {}
+    state = read_journal(path)          # JournalError propagates: the
+    state.validate_spec(spec)           # caller asked for *this* journal
+    replayed = {label: record for label, record in state.outcomes.items()
+                if label in known_labels}
+    return (SweepJournal.resume(path, spec, run_id, state, fsync=fsync),
+            replayed)
+
+
+def _terminal_record(payload: Dict[str, Any], run_id: str, outcome,
+                     collector: Pipeline) -> Dict[str, Any]:
+    """Build one point's ``points.jsonl`` record from its outcome.
+
+    ``ok`` outcomes load the warmed artifact (a disk hit — the worker
+    or inline attempt just stored it); a load that *still* fails is
+    recorded as a hole rather than crashing the sweep.  Every record
+    carries the full attempt history (``attempts``, ``causes``) so a
+    resumed sweep reports cumulative retries, not just the last word.
+    """
+    record = dict(payload)
+    # Every point record names the invocation that produced it, so a
+    # ``points.jsonl`` line correlates with the same run's trace
+    # JSONL, report.json, and BENCH files.
+    record["run_id"] = run_id
+    record["attempts"] = outcome.attempts
+    record["causes"] = list(outcome.causes)
+    if outcome.status == FAILED:
+        record["status"] = "failed"
+        record["error"] = outcome.causes[-1] if outcome.causes \
+            else "failed"
+        record["metrics"] = None
+        return record
+    try:
+        artifact = _point_artifact(collector, record)
+    except Exception as exc:
+        cause = f"{type(exc).__name__}: {exc}"
+        record["status"] = "failed"
+        record["error"] = cause
+        record["causes"].append(cause)
+        record["metrics"] = None
+        return record
+    record["status"] = "ok"
+    record["metrics"] = _metrics(payload["system"], artifact)
+    record["error"] = None
+    return record
+
+
+def _finish(spec: SweepSpec, points, records, report: RunReport,
+            out_dir, telemetry: Telemetry, replayed_ok: int,
+            replayed: int, started: float) -> SweepResult:
+    """Counts, artifacts, and the attested pack — shared by both
+    engines."""
+    for record in records:
+        if record["status"] != "ok":
+            report.annotate(f"hole: {record['label']}: {record['error']}")
+    simulated = telemetry.computes(POINT_STAGES)
+    ok_count = sum(1 for r in records if r["status"] == "ok")
+    executed_ok = ok_count - replayed_ok
+    reused = executed_ok - simulated
+    if reused < 0:
+        # Counter drift: telemetry saw more point simulations than ok
+        # points.  Annotate instead of clamping silently — a drifting
+        # counter is a bug worth seeing, not noise worth hiding.
+        report.annotate(
+            f"telemetry drift: {simulated} point-stage computes counted "
+            f"for {executed_ok} executed-ok points")
+        reused = 0
+    result = SweepResult(
+        spec=spec, points=points, records=records, report=report,
+        out_dir=Path(out_dir), simulated=simulated, reused=reused,
+        replayed=replayed, seconds=time.perf_counter() - started)
+    result.artifacts = write_artifacts(
+        out_dir, spec, records, report.as_dict(), result.simulated,
+        result.reused)
+    result.artifacts["pack.json"] = write_pack(out_dir)
+    return result
 
 
 def run_sweep(spec: SweepSpec, cache_dir, out_dir,
@@ -133,14 +241,25 @@ def run_sweep(spec: SweepSpec, cache_dir, out_dir,
               faults: Optional[FaultPlan] = None,
               telemetry: Optional[Telemetry] = None,
               progress: Optional[Callable[[str], None]] = None,
-              sleep: Callable[[float], None] = time.sleep
+              sleep: Callable[[float], None] = time.sleep,
+              resume: bool = False,
+              labels: Optional[Sequence[str]] = None,
+              fsync: bool = True,
               ) -> SweepResult:
     """Expand, execute, collect, and analyze one sweep.
 
     ``cache_dir`` must be a real artifact store (sweeps are defined by
     their resumability); ``out_dir`` receives the artifact set (see
-    :mod:`repro.explore.analyze`).  Failed points become annotated
-    holes; the function never raises for a point failure.
+    :mod:`repro.explore.analyze`) plus the journal and repro pack.
+    Failed points become annotated holes; the function never raises for
+    a point failure.
+
+    ``resume=True`` replays the journal already in ``out_dir`` (hard
+    error if it belongs to a different spec) and executes only the
+    points without a terminal outcome.  ``labels`` restricts the sweep
+    to a subset of point labels — the sharded driver
+    (:mod:`repro.explore.shard`) uses this to give each shard its own
+    slice and journal.  ``fsync=False`` is for benchmarks only.
     """
     if cache_dir is None:
         raise ValueError("sweeps require the artifact cache "
@@ -148,65 +267,66 @@ def run_sweep(spec: SweepSpec, cache_dir, out_dir,
     started = time.perf_counter()
     telemetry = telemetry if telemetry is not None else Telemetry()
     points = expand(spec)
+    if labels is not None:
+        wanted = set(labels)
+        points = [point for point in points if point.label in wanted]
     payloads = {point.label: point.payload() for point in points}
     cache_dir = str(cache_dir)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
     report = RunReport()
+    run_id = runctx.current().run_id
+
+    journal, replayed = _open_journal(out_dir, spec, run_id, resume,
+                                      payloads, fsync)
+    records_by_label: Dict[str, Dict[str, Any]] = dict(replayed)
+    collector = Pipeline(cache_dir=cache_dir)
 
     def submit(pool, label: str, attempt: int):
+        journal.claim(label, attempt)
+        apply_driver_fault(faults, label, attempt)
         return pool.submit(warm_point, payloads[label], cache_dir,
                            faults, attempt, True)
 
     def run_inline(label: str, attempt: int):
+        journal.claim(label, attempt)
+        apply_driver_fault(faults, label, attempt)
         return warm_point(payloads[label], cache_dir, faults, attempt,
                           False)
 
-    supervise_units([point.label for point in points], submit, run_inline,
-                    jobs=jobs, policy=policy, stage_timeout=stage_timeout,
-                    telemetry=telemetry, report=report, progress=progress,
-                    sleep=sleep)
+    def on_outcome(label: str, outcome) -> None:
+        # Terminal means durable: the record reaches the fsync'd
+        # journal before the supervisor moves on, so a driver killed
+        # at *any* instant can replay everything that finished.
+        record = _terminal_record(payloads[label], run_id, outcome,
+                                  collector)
+        records_by_label[label] = record
+        journal.outcome(record)
 
-    # Collect phase: every warmed artifact is a disk hit in this
-    # process; failed units become holes instead of recompute attempts.
-    collector = Pipeline(cache_dir=cache_dir)
-    run_id = runctx.current().run_id
-    records: List[Dict[str, Any]] = []
-    for point in points:
-        record = point.payload()
-        # Every point record names the invocation that produced it, so
-        # a ``points.jsonl`` line correlates with the same run's trace
-        # JSONL, report.json, and BENCH files.
-        record["run_id"] = run_id
-        outcome = report.units.get(point.label)
-        if outcome is not None and outcome.status == FAILED:
-            record["status"] = "failed"
-            record["error"] = outcome.causes[-1] if outcome.causes \
-                else "failed"
-            record["metrics"] = None
-            report.annotate(f"hole: {point.label}: {record['error']}")
-        else:
-            artifact = _point_artifact(collector, record)
-            record["status"] = "ok"
-            record["metrics"] = _metrics(point.system, artifact)
-            record["error"] = None
-        records.append(record)
+    try:
+        supervise_units(
+            [point.label for point in points
+             if point.label not in replayed],
+            submit, run_inline, jobs=jobs, policy=policy,
+            stage_timeout=stage_timeout, telemetry=telemetry,
+            report=report, progress=progress, sleep=sleep,
+            on_outcome=on_outcome)
+    finally:
+        journal.close()
+
     telemetry.merge(collector.telemetry)
-
-    simulated = telemetry.computes(POINT_STAGES)
-    ok_count = sum(1 for r in records if r["status"] == "ok")
-    result = SweepResult(
-        spec=spec, points=points, records=records, report=report,
-        out_dir=Path(out_dir), simulated=simulated,
-        reused=max(0, ok_count - simulated),
-        seconds=time.perf_counter() - started)
-    result.artifacts = write_artifacts(
-        out_dir, spec, records, report.as_dict(), result.simulated,
-        result.reused)
-    return result
+    records = [records_by_label[point.label] for point in points]
+    replayed_ok = sum(1 for label in replayed
+                      if records_by_label[label]["status"] == "ok")
+    return _finish(spec, points, records, report, out_dir, telemetry,
+                   replayed_ok, len(replayed), started)
 
 
 def run_sweep_batched(spec: SweepSpec, cache_dir, out_dir,
                       telemetry: Optional[Telemetry] = None,
-                      progress: Optional[Callable[[str], None]] = None
+                      progress: Optional[Callable[[str], None]] = None,
+                      resume: bool = False,
+                      fsync: bool = True,
                       ) -> SweepResult:
     """Execute every design point lock-step in one process
     (``repro sweep --batch``).
@@ -227,7 +347,9 @@ def run_sweep_batched(spec: SweepSpec, cache_dir, out_dir,
     point.  A failed point becomes an annotated hole, never an aborted
     sweep — batch mode trades :mod:`repro.robust`'s crash/hang
     recovery (no workers, no retries, no fault injection) for the
-    shared-setup speedup.
+    shared-setup speedup.  The journal is written all the same, and
+    ``resume=True`` replays it, so the two engines can even resume
+    *each other's* killed runs.
     """
     if cache_dir is None:
         raise ValueError("sweeps require the artifact cache "
@@ -236,39 +358,49 @@ def run_sweep_batched(spec: SweepSpec, cache_dir, out_dir,
     telemetry = telemetry if telemetry is not None else Telemetry()
     points = expand(spec)
     report = RunReport()
-    pipeline = Pipeline(cache_dir=str(cache_dir))
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
     run_id = runctx.current().run_id
+    labels = {point.label for point in points}
+    journal, replayed = _open_journal(out_dir, spec, run_id, resume,
+                                      labels, fsync)
+    pipeline = Pipeline(cache_dir=str(cache_dir))
     records: List[Dict[str, Any]] = []
-    for point in points:
-        record = point.payload()
-        record["run_id"] = run_id
-        try:
-            artifact = _point_artifact(pipeline, record)
-        except Exception as exc:  # a hole, never an aborted sweep
-            report.record_attempt(point.label, exc)
-            report.resolve(point.label, FAILED)
-            record["status"] = "failed"
-            record["error"] = f"{type(exc).__name__}: {exc}"
-            record["metrics"] = None
-            report.annotate(f"hole: {point.label}: {record['error']}")
-        else:
-            report.resolve(point.label, COMPLETED)
-            record["status"] = "ok"
-            record["metrics"] = _metrics(point.system, artifact)
-            record["error"] = None
+    try:
+        for point in points:
+            if point.label in replayed:
+                records.append(replayed[point.label])
+                continue
+            record = point.payload()
+            record["run_id"] = run_id
+            journal.claim(point.label)
+            try:
+                artifact = _point_artifact(pipeline, record)
+            except Exception as exc:  # a hole, never an aborted sweep
+                report.record_attempt(point.label, exc)
+                outcome = report.resolve(point.label, FAILED)
+                record["status"] = "failed"
+                record["error"] = f"{type(exc).__name__}: {exc}"
+                record["metrics"] = None
+            else:
+                outcome = report.resolve(point.label, COMPLETED)
+                record["status"] = "ok"
+                record["metrics"] = _metrics(point.system, artifact)
+                record["error"] = None
+            record["attempts"] = outcome.attempts
+            record["causes"] = list(outcome.causes)
+            journal.outcome(record)
             if progress is not None:
+                # Holes advance the progress display too — a stalled
+                # bar and a failing point are different news.
                 progress(point.label)
-        records.append(record)
+            records.append(record)
+    finally:
+        journal.close()
     telemetry.merge(pipeline.telemetry)
 
-    simulated = pipeline.telemetry.computes(POINT_STAGES)
-    ok_count = sum(1 for r in records if r["status"] == "ok")
-    result = SweepResult(
-        spec=spec, points=points, records=records, report=report,
-        out_dir=Path(out_dir), simulated=simulated,
-        reused=max(0, ok_count - simulated),
-        seconds=time.perf_counter() - started)
-    result.artifacts = write_artifacts(
-        out_dir, spec, records, report.as_dict(), result.simulated,
-        result.reused)
-    return result
+    replayed_ok = sum(1 for label in replayed
+                      if replayed[label]["status"] == "ok")
+    return _finish(spec, points, records, report, out_dir,
+                   pipeline.telemetry, replayed_ok, len(replayed),
+                   started)

@@ -1,0 +1,353 @@
+"""Sharded sweep execution: a filesystem work-queue with leases.
+
+ROADMAP item 3 wants "distributed, resumable, million-point sweeps";
+the coordination substrate is deliberately boring — a shared
+filesystem, no daemon, no network protocol:
+
+* The grid is split into **shards** round-robin by point index
+  (``point.index % shards``), so every shard sees a representative
+  slice of benchmarks and axis values rather than a contiguous block
+  of one benchmark.
+* Each shard is an ordinary journaled sweep in its own directory,
+  ``OUT/shards/<k>/``, executed via
+  :func:`repro.explore.engine.run_sweep` with ``labels=`` and
+  ``resume=True`` — the per-shard journal *is* the shard's durable
+  state, so a shard can die and be re-claimed mid-stream.
+* A shard is claimed through an **atomic lease file**
+  (``OUT/shards/shard-<k>.lease``, created ``O_CREAT | O_EXCL``)
+  naming the holder and carrying a heartbeat timestamp the holder
+  renews while it works.  A lease whose heartbeat is older than its
+  TTL is *stale*: any surviving driver reclaims it by atomically
+  renaming it aside (exactly one renamer wins the race) and re-creating
+  it — so the death of any participant only ever delays its shard by
+  one TTL.
+* A driver runs its preferred shard (``--shard-id``), then — unless
+  told not to steal — sweeps the remaining shards, claiming any that
+  are unfinished and unclaimed.  When every label in every shard
+  journal is terminal, the driver **merges**: shard records are folded
+  into one :class:`~repro.explore.engine.SweepResult` in point order,
+  the full artifact set is written at the top level, and the repro
+  pack attests the lot (shard journals included).
+
+Leases fence *efficiency*, not correctness: if a paused driver revives
+after its lease was reclaimed, both drivers execute the same points
+against the same content-addressed cache keys and write last-wins
+outcomes to different journals — wasteful, never wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.explore.analyze import write_artifacts
+from repro.explore.engine import SweepResult, run_sweep
+from repro.explore.grid import DesignPoint, expand
+from repro.explore.journal import JOURNAL_FILE, read_journal
+from repro.explore.pack import write_pack
+from repro.explore.spec import SweepSpec
+from repro.pipeline.observe import Telemetry
+from repro.robust import COMPLETED, FAILED, RETRIED, RunReport
+from repro.robust.retry import RetryPolicy
+
+__all__ = ["DEFAULT_TTL", "Lease", "ShardedSweepResult", "merge_shards",
+           "run_sweep_sharded", "shard_dir", "shard_labels"]
+
+#: Seconds of heartbeat silence after which a lease is stale.  Must
+#: comfortably exceed the longest single design point: heartbeats are
+#: renewed from the sweep's progress callback, i.e. between points.
+DEFAULT_TTL = 120.0
+
+
+def shard_labels(points: List[DesignPoint], shards: int
+                 ) -> List[List[str]]:
+    """Round-robin assignment: shard ``k`` owns ``index % shards == k``."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    out: List[List[str]] = [[] for _ in range(shards)]
+    for point in points:
+        out[point.index % shards].append(point.label)
+    return out
+
+
+def shard_dir(out_dir, shard_id: int) -> Path:
+    return Path(out_dir) / "shards" / str(shard_id)
+
+
+def _lease_path(out_dir, shard_id: int) -> Path:
+    return Path(out_dir) / "shards" / f"shard-{shard_id}.lease"
+
+
+@dataclass
+class Lease:
+    """One holder's claim on one shard, backed by a heartbeat file."""
+
+    path: Path
+    shard_id: int
+    holder: str
+    ttl: float
+    clock: Callable[[], float] = time.time
+    acquired: float = 0.0
+    last_beat: float = 0.0
+
+    # -- acquisition -------------------------------------------------------
+
+    @classmethod
+    def acquire(cls, out_dir, shard_id: int, holder: Optional[str] = None,
+                ttl: float = DEFAULT_TTL,
+                clock: Callable[[], float] = time.time
+                ) -> Optional["Lease"]:
+        """Claim the shard, reclaiming a stale lease if one is in the
+        way; ``None`` when a live holder has it."""
+        path = _lease_path(out_dir, shard_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        holder = holder or f"{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        lease = cls(path=path, shard_id=shard_id, holder=holder,
+                    ttl=ttl, clock=clock)
+        if lease._try_create():
+            return lease
+        current = _read_lease_file(path)
+        if current is not None:
+            beat = float(current.get("heartbeat", 0.0))
+            held_ttl = float(current.get("ttl", ttl))
+            if clock() - beat <= held_ttl:
+                return None                       # live holder
+        # Stale (or unreadable — a torn write counts as dead): rename it
+        # aside.  os.rename is atomic, so of N racing reclaimers exactly
+        # one succeeds; the rest see FileNotFoundError and fall through
+        # to the create race below.
+        tomb = path.with_name(
+            f"{path.name}.stale-{holder}")
+        try:
+            os.rename(path, tomb)
+        except OSError:
+            pass
+        else:
+            try:
+                tomb.unlink()
+            except OSError:
+                pass
+        return lease if lease._try_create() else None
+
+    def _try_create(self) -> bool:
+        now = self.clock()
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(self._payload(now))
+        self.acquired = self.last_beat = now
+        return True
+
+    def _payload(self, beat: float) -> str:
+        return json.dumps({
+            "shard": self.shard_id, "holder": self.holder,
+            "acquired": self.acquired or beat, "heartbeat": beat,
+            "ttl": self.ttl}, sort_keys=True)
+
+    # -- lifetime ----------------------------------------------------------
+
+    def renew(self, force: bool = False) -> bool:
+        """Refresh the heartbeat (atomically, temp + rename); throttled
+        to about three beats per TTL unless ``force``.  Returns False —
+        without raising — if the lease was reclaimed out from under us:
+        sharded execution stays correct either way (see module doc)."""
+        now = self.clock()
+        if not force and now - self.last_beat < self.ttl / 3.0:
+            return True
+        current = _read_lease_file(self.path)
+        if current is None or current.get("holder") != self.holder:
+            return False
+        tmp = self.path.with_name(f"{self.path.name}.{self.holder}.tmp")
+        tmp.write_text(self._payload(now), encoding="utf-8")
+        os.replace(tmp, self.path)
+        self.last_beat = now
+        return True
+
+    def release(self) -> None:
+        """Drop the claim (only if we still hold it)."""
+        current = _read_lease_file(self.path)
+        if current is not None and current.get("holder") == self.holder:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+
+def _read_lease_file(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+# -- the sharded driver -----------------------------------------------------
+
+@dataclass
+class ShardedSweepResult:
+    """What one ``repro sweep --shards N`` invocation accomplished."""
+
+    spec: SweepSpec
+    out_dir: Path
+    shards: int
+    #: Shards this driver executed (claimed and swept).
+    executed: List[int] = field(default_factory=list)
+    #: Shards skipped because a live holder has them.
+    held: List[int] = field(default_factory=list)
+    #: shard id -> labels still non-terminal after this driver's pass.
+    pending: Dict[int, int] = field(default_factory=dict)
+    #: The merged whole-sweep result — present only when every shard
+    #: journal is complete (whoever finishes last merges).
+    merged: Optional[SweepResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.merged is not None and self.merged.ok
+
+    def summary_line(self) -> str:
+        if self.merged is not None:
+            return self.merged.summary_line() + \
+                f" [merged from {self.shards} shards]"
+        waiting = sum(self.pending.values())
+        held = ", ".join(str(k) for k in self.held) or "none"
+        return (f"sweep {self.spec.name}: sharded {self.shards} ways — "
+                f"ran {len(self.executed)} shard(s), {waiting} point(s) "
+                f"still pending on shard(s) held elsewhere ({held}); "
+                f"re-run or let the other drivers finish, then any "
+                f"driver merges")
+
+
+def _shard_pending(out_dir, shard_id: int, spec: SweepSpec,
+                   labels: List[str]) -> int:
+    """Labels of this shard without a terminal outcome in its journal."""
+    state = read_journal(shard_dir(out_dir, shard_id) / JOURNAL_FILE)
+    if not state.fresh:
+        state.validate_spec(spec)
+    return sum(1 for label in labels if label not in state.outcomes)
+
+
+def merge_shards(spec: SweepSpec, out_dir, shards: int
+                 ) -> Optional[SweepResult]:
+    """Fold complete shard journals into one top-level sweep result.
+
+    Returns ``None`` (merging nothing) unless *every* point of *every*
+    shard has a terminal journal outcome.  The merged ``RunReport`` is
+    rebuilt from the records — each shard run wrote its own report in
+    its own directory; the merge's report is the whole-sweep view.
+    """
+    started = time.perf_counter()
+    out_dir = Path(out_dir)
+    points = expand(spec)
+    assignment = shard_labels(points, shards)
+    records_by_label: Dict[str, Dict[str, Any]] = {}
+    for shard_id in range(shards):
+        state = read_journal(shard_dir(out_dir, shard_id) / JOURNAL_FILE)
+        if not state.fresh:
+            state.validate_spec(spec)
+        for label in assignment[shard_id]:
+            record = state.outcomes.get(label)
+            if record is not None:
+                records_by_label[label] = record
+    if len(records_by_label) < len(points):
+        return None
+
+    records = [records_by_label[point.label] for point in points]
+    report = RunReport()
+    for record in records:
+        outcome = report.outcome(record["label"])
+        outcome.causes = list(record.get("causes") or [])
+        attempts = int(record.get("attempts") or 1)
+        if record["status"] == "ok":
+            status = RETRIED if attempts > 1 else COMPLETED
+        else:
+            status = FAILED
+            report.annotate(
+                f"hole: {record['label']}: {record.get('error')}")
+        report.resolve(record["label"], status, attempts=attempts)
+    result = SweepResult(
+        spec=spec, points=points, records=records, report=report,
+        out_dir=out_dir, simulated=0, reused=0, replayed=len(records),
+        seconds=time.perf_counter() - started)
+    result.artifacts = write_artifacts(
+        out_dir, spec, records, report.as_dict(), 0, 0)
+    result.artifacts["pack.json"] = write_pack(out_dir)
+    return result
+
+
+def run_sweep_sharded(spec: SweepSpec, cache_dir, out_dir,
+                      shards: int,
+                      shard_id: Optional[int] = None,
+                      steal: bool = True,
+                      jobs: int = 1,
+                      policy: Optional[RetryPolicy] = None,
+                      stage_timeout: Optional[float] = None,
+                      telemetry: Optional[Telemetry] = None,
+                      progress: Optional[Callable[[str], None]] = None,
+                      sleep: Callable[[float], None] = time.sleep,
+                      ttl: float = DEFAULT_TTL,
+                      holder: Optional[str] = None,
+                      clock: Callable[[], float] = time.time,
+                      ) -> ShardedSweepResult:
+    """One sharded driver's pass: claim, sweep, steal, merge.
+
+    Any number of these can run concurrently against one ``out_dir``
+    on a shared filesystem; each claims shards through leases, executes
+    them as journaled sub-sweeps, and whichever driver completes the
+    last shard performs the merge.  ``steal=False`` stops after the
+    preferred ``shard_id`` (the CI two-driver demo uses this so the
+    first driver provably leaves work for the second).
+    """
+    if shard_id is not None and not (0 <= shard_id < shards):
+        raise ValueError(
+            f"shard-id {shard_id} out of range for {shards} shards")
+    out_dir = Path(out_dir)
+    points = expand(spec)
+    assignment = shard_labels(points, shards)
+    result = ShardedSweepResult(spec=spec, out_dir=out_dir, shards=shards)
+
+    order = list(range(shards))
+    if shard_id is not None:
+        order.remove(shard_id)
+        order.insert(0, shard_id)
+        if not steal:
+            order = [shard_id]
+
+    for k in order:
+        labels = assignment[k]
+        if not _shard_pending(out_dir, k, spec, labels):
+            continue                         # shard already complete
+        lease = Lease.acquire(out_dir, k, holder=holder, ttl=ttl,
+                              clock=clock)
+        if lease is None:
+            result.held.append(k)
+            continue
+
+        def beat_progress(label: str, _lease=lease) -> None:
+            _lease.renew()
+            if progress is not None:
+                progress(label)
+
+        try:
+            run_sweep(spec, cache_dir, shard_dir(out_dir, k),
+                      jobs=jobs, policy=policy,
+                      stage_timeout=stage_timeout, telemetry=telemetry,
+                      progress=beat_progress, sleep=sleep,
+                      resume=True, labels=labels)
+        finally:
+            lease.release()
+        result.executed.append(k)
+
+    for k in range(shards):
+        missing = _shard_pending(out_dir, k, spec, assignment[k])
+        if missing:
+            result.pending[k] = missing
+    if not result.pending:
+        result.merged = merge_shards(spec, out_dir, shards)
+    return result

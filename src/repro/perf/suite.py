@@ -19,6 +19,7 @@ benchmark                 what it times
 ``trace-emit``            buffered ``TraceLog`` JSONL emission
 ``cycle-sim-batched``     ``cycle-sim`` on the batched kernel backend
 ``sweep-batched``         lock-step multi-point sweep (``sweep --batch``)
+``sweep-journal``         journal append + replay (checksummed JSONL)
 ========================  ==================================================
 """
 
@@ -247,6 +248,49 @@ def _run_sweep_batched(state):
     return result.simulated
 
 
+#: Points appended + replayed per ``sweep-journal`` sample — sized so
+#: the checksummed encode/decode dominates file-open overhead.
+_JOURNAL_POINTS = 400
+
+
+def _setup_sweep_journal():
+    from repro.explore.spec import SweepSpec
+    root = Path(tempfile.mkdtemp(prefix="repro-perf-journal-"))
+    spec = SweepSpec(name="perf-sweep-journal", system="cycles",
+                     benchmarks=(_SWEEP_BENCH,), axes=(_SWEEP_AXIS,))
+    record = {"label": "", "benchmark": _SWEEP_BENCH, "index": 0,
+              "variant": "compiled", "system": "cycles",
+              "settings": {_SWEEP_AXIS[0]: 4}, "status": "ok",
+              "run_id": "perfperfperf", "attempts": 1, "causes": [],
+              "error": None,
+              "metrics": {"cycles": 12345, "ipc": 1.5, "executed": 9999}}
+    return SimpleNamespace(root=root, spec=spec, record=record,
+                           iteration=0)
+
+
+def _run_sweep_journal(state):
+    # One sample = a full sweep's journal lifecycle: claim + outcome
+    # per point (fsync off — this measures the checksum/encode logic,
+    # not the disk), then the crash-recovery read path replaying it.
+    from repro.explore.journal import SweepJournal, read_journal
+    state.iteration += 1
+    path = state.root / f"iter-{state.iteration}.jsonl"
+    with SweepJournal.create(path, state.spec, "perfperfperf",
+                             fsync=False) as journal:
+        for index in range(_JOURNAL_POINTS):
+            record = dict(state.record)
+            record["label"] = f"{_SWEEP_BENCH}/point={index}"
+            record["index"] = index
+            journal.claim(record["label"])
+            journal.outcome(record)
+    replayed = read_journal(path)
+    if len(replayed.outcomes) != _JOURNAL_POINTS:
+        raise RuntimeError(
+            f"journal replay lost records: {len(replayed.outcomes)} "
+            f"of {_JOURNAL_POINTS}")
+    return len(replayed.outcomes)
+
+
 _SUITE: List[BenchSpec] = [
     BenchSpec("ir-interp", "simulators",
               f"IR reference interpreter, {_INTERP_BENCH} end to end",
@@ -280,6 +324,12 @@ _SUITE: List[BenchSpec] = [
               f"lock-step batch sweep: {_SWEEP_BENCH} x "
               f"{_SWEEP_AXIS[0]}[{len(_SWEEP_AXIS[1])}], cold store",
               _setup_sweep_batched, _run_sweep_batched,
+              _teardown_tmpdir),
+    BenchSpec("sweep-journal", "explore",
+              f"sweep journal: {_JOURNAL_POINTS} checksummed "
+              f"claim+outcome appends (fsync off) + crash-recovery "
+              f"replay",
+              _setup_sweep_journal, _run_sweep_journal,
               _teardown_tmpdir),
 ]
 

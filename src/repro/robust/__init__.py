@@ -31,7 +31,7 @@ from repro.robust.errors import (
 )
 from repro.robust.faults import (
     FAULT_KINDS, Fault, FaultPlan, InjectedFault, KILL_EXIT_CODE,
-    apply_unit_faults, maybe_corrupt,
+    apply_driver_fault, apply_unit_faults, maybe_corrupt,
 )
 from repro.robust.report import (
     COMPLETED, DEGRADED, FAILED, RETRIED, RunReport, UnitOutcome,
@@ -58,6 +58,7 @@ __all__ = [
     "StageTimeout",
     "UnitOutcome",
     "WorkerCrash",
+    "apply_driver_fault",
     "apply_unit_faults",
     "call_with_retry",
     "maybe_corrupt",

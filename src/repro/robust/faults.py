@@ -18,6 +18,17 @@ fallbacks, and across test runs.  Fault kinds:
     Immediately after the store writes an artifact for the matching
     *stage*, the on-disk bytes are garbled; the next load detects the
     corruption and quarantines the entry.
+``kill-driver``
+    The *driver process itself* is SIGKILLed the moment the matching
+    sweep point is claimed — after the claim reaches the journal,
+    before any simulation runs.  This is the crash-safety drill: the
+    only recovery is ``repro sweep --resume`` in a fresh process, so
+    (unlike every other kind) it is honored by
+    :func:`apply_driver_fault` in the parent, never by
+    :func:`apply_unit_faults` in workers.  Resume invocations must not
+    pass the plan again — activation is pure in ``(kind, site,
+    attempt)`` and the journal does not count driver deaths, so a
+    re-passed plan would simply kill the resumed driver too.
 
 The textual plan format (CLI ``--faults``) is a comma-separated list of
 ``kind:site[:times[:seconds]]`` entries; ``site`` is a benchmark name
@@ -29,6 +40,7 @@ attempt 0 only, so the first retry succeeds).
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -38,7 +50,7 @@ from typing import Optional, Tuple
 KILL_EXIT_CODE = 87
 
 FAULT_KINDS = ("corrupt-cache-entry", "kill-worker", "slow-stage",
-               "flaky-stage")
+               "flaky-stage", "kill-driver")
 
 
 class InjectedFault(RuntimeError):
@@ -122,6 +134,24 @@ def apply_unit_faults(plan: Optional[FaultPlan], unit: str, attempt: int,
     if plan.active("flaky-stage", unit, attempt) is not None:
         raise InjectedFault(
             f"injected flaky-stage fault for {unit!r} (attempt {attempt})")
+
+
+def apply_driver_fault(plan: Optional[FaultPlan], site: str,
+                       attempt: int = 0) -> None:
+    """SIGKILL the current process if a ``kill-driver`` fault fires.
+
+    Called by the sweep engines immediately after a point's claim is
+    journaled and fsync'd — the kill therefore lands at the exact
+    moment a real crash would be most damaging: point claimed, outcome
+    never written.  SIGKILL (not ``os._exit``) so no ``atexit``/
+    ``finally`` cleanup can soften the drill.
+    """
+    if plan is None or plan.active("kill-driver", site, attempt) is None:
+        return
+    try:
+        os.kill(os.getpid(), signal.SIGKILL)
+    except (AttributeError, OSError):  # no SIGKILL on this platform
+        os._exit(KILL_EXIT_CODE)
 
 
 def maybe_corrupt(plan: Optional[FaultPlan], stage: str, attempt: int,

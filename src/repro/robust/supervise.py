@@ -23,6 +23,12 @@ The caller provides two hooks:
 ``run_inline(label, attempt) -> counters``
     Run one unit in the current process (the serial path and the
     degrade fallback) — must not honor worker-only faults.
+
+An optional third hook, ``on_outcome(label, outcome)``, fires exactly
+once per unit at the moment its :class:`UnitOutcome` becomes terminal
+(completed, retried, degraded, or failed) — this is where the sweep
+journal records outcomes, so a driver killed mid-run has a durable
+record of everything that finished before it died.
 """
 
 from __future__ import annotations
@@ -72,7 +78,8 @@ def supervise_units(units: Sequence[str],
                     telemetry=None,
                     report: Optional[RunReport] = None,
                     progress=None,
-                    sleep: Callable[[float], None] = time.sleep
+                    sleep: Callable[[float], None] = time.sleep,
+                    on_outcome=None,
                     ) -> RunReport:
     """Run every unit to a terminal status; returns the filled report.
 
@@ -88,8 +95,18 @@ def supervise_units(units: Sequence[str],
                 status: Optional[str] = None) -> None:
         if telemetry is not None and counters:
             telemetry.merge_dict(counters)
-        report.resolve(label, status or (RETRIED if attempt else COMPLETED),
-                       attempts=attempt + 1)
+        outcome = report.resolve(
+            label, status or (RETRIED if attempt else COMPLETED),
+            attempts=attempt + 1)
+        if on_outcome:
+            on_outcome(label, outcome)
+        if progress:
+            progress(label)
+
+    def fail(label: str, attempts: int) -> None:
+        outcome = report.resolve(label, FAILED, attempts=attempts)
+        if on_outcome:
+            on_outcome(label, outcome)
         if progress:
             progress(label)
 
@@ -100,7 +117,7 @@ def supervise_units(units: Sequence[str],
             counters = run_inline(label, attempt + 1)
         except Exception as exc:
             report.record_attempt(label, exc)
-            report.resolve(label, FAILED, attempts=attempt + 2)
+            fail(label, attempts=attempt + 2)
             return
         succeed(label, attempt + 1, counters, status=DEGRADED)
 
@@ -114,7 +131,7 @@ def supervise_units(units: Sequence[str],
                 except Exception as exc:
                     report.record_attempt(label, exc)
                     if attempt + 1 >= policy.max_attempts:
-                        report.resolve(label, FAILED, attempts=attempt + 1)
+                        fail(label, attempts=attempt + 1)
                         break
                     sleep(policy.delay(attempt, label))
                     attempt += 1

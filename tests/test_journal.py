@@ -1,0 +1,204 @@
+"""Sweep journal: checksummed lines, truncated-tail recovery, replay.
+
+Pins the edge cases the crash-safety story depends on (ISSUE 8's
+satellite list): a torn final line is recovered, a corrupt *interior*
+line is a hard error, duplicate terminal records resolve last-wins,
+an empty journal is a fresh sweep, and a spec-digest mismatch refuses
+to resume.
+"""
+
+import json
+
+import pytest
+
+from repro.explore import SweepSpec
+from repro.explore.journal import (
+    JOURNAL_VERSION, JournalError, SweepJournal, decode_line, encode_line,
+    read_journal, records_equal, spec_document, spec_fingerprint,
+    strip_volatile,
+)
+
+
+def _spec(**overrides):
+    data = {"system": "cycles", "benchmarks": ["crc", "vadd"],
+            "axes": {"max_blocks_in_flight": [1, 8]}}
+    data.update(overrides)
+    return SweepSpec.from_dict(data, name=overrides.pop("name", "t"))
+
+
+def _record(label, status="ok", **extra):
+    record = {"label": label, "benchmark": label.split("/")[0],
+              "status": status, "run_id": "run0", "attempts": 1,
+              "causes": [], "error": None,
+              "metrics": {"ipc": 1.25, "cycles": 1000}}
+    record.update(extra)
+    return record
+
+
+def _write(tmp_path, spec, records, run_id="run0"):
+    path = tmp_path / "journal.jsonl"
+    with SweepJournal.create(path, spec, run_id) as journal:
+        for record in records:
+            journal.claim(record["label"])
+            journal.outcome(record)
+    return path
+
+
+class TestLineCodec:
+    def test_round_trip(self):
+        payload = {"kind": "claim", "label": "crc/x=1", "attempt": 0}
+        assert decode_line(encode_line(payload)) == payload
+
+    def test_checksum_catches_bit_flips(self):
+        line = encode_line({"kind": "claim", "label": "crc/x=1",
+                            "attempt": 0})
+        tampered = line.replace("crc", "crx")
+        with pytest.raises(JournalError, match="checksum"):
+            decode_line(tampered)
+
+    def test_garbage_and_missing_sum_rejected(self):
+        with pytest.raises(JournalError, match="unparsable"):
+            decode_line("not json at all")
+        with pytest.raises(JournalError, match="no checksum"):
+            decode_line(json.dumps({"kind": "claim"}))
+
+
+class TestSpecFingerprint:
+    def test_stable_across_equal_specs(self):
+        assert spec_fingerprint(_spec()) == spec_fingerprint(_spec())
+
+    def test_any_definition_change_changes_it(self):
+        base = spec_fingerprint(_spec())
+        assert spec_fingerprint(_spec(benchmarks=["crc"])) != base
+        assert spec_fingerprint(
+            _spec(axes={"max_blocks_in_flight": [1, 4]})) != base
+        assert spec_fingerprint(_spec(name="other")) != base
+
+    def test_document_is_json_round_trip_stable(self):
+        doc = spec_document(_spec())
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestReadJournal:
+    def test_round_trip(self, tmp_path):
+        spec = _spec()
+        records = [_record("crc/max_blocks_in_flight=1"),
+                   _record("crc/max_blocks_in_flight=8")]
+        state = read_journal(_write(tmp_path, spec, records))
+        assert not state.fresh and not state.truncated
+        assert state.header["spec_digest"] == spec_fingerprint(spec)
+        assert state.header["v"] == JOURNAL_VERSION
+        assert set(state.outcomes) == {r["label"] for r in records}
+        assert state.claims == {r["label"]: 1 for r in records}
+        state.validate_spec(spec)          # must not raise
+
+    def test_empty_or_missing_is_fresh(self, tmp_path):
+        missing = read_journal(tmp_path / "nope.jsonl")
+        assert missing.fresh and not missing.truncated
+        empty_path = tmp_path / "empty.jsonl"
+        empty_path.write_text("")
+        empty = read_journal(empty_path)
+        assert empty.fresh and empty.entries == 0
+        empty.validate_spec(_spec())       # fresh journals match anything
+
+    def test_torn_final_line_is_dropped_not_fatal(self, tmp_path):
+        spec = _spec()
+        path = _write(tmp_path, spec,
+                      [_record("crc/max_blocks_in_flight=1")])
+        whole = path.read_text()
+        torn = whole.rstrip("\n")
+        path.write_text(torn[: len(torn) - 25])     # tear the tail
+        state = read_journal(path)
+        assert state.truncated
+        # The torn line was the last outcome; its claim survived.
+        assert state.outcomes == {}
+        assert state.claims == {"crc/max_blocks_in_flight=1": 1}
+
+    def test_corrupt_interior_line_is_a_hard_error(self, tmp_path):
+        spec = _spec()
+        path = _write(tmp_path, spec,
+                      [_record("crc/max_blocks_in_flight=1"),
+                       _record("crc/max_blocks_in_flight=8")])
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-10] + "XXXXXXXXXX"    # not the tail
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match=":2:"):
+            read_journal(path)
+
+    def test_duplicate_outcome_last_wins(self, tmp_path):
+        spec = _spec()
+        label = "crc/max_blocks_in_flight=1"
+        path = _write(tmp_path, spec, [
+            _record(label, metrics={"ipc": 1.0, "cycles": 100}),
+            _record(label, metrics={"ipc": 2.0, "cycles": 50}),
+        ])
+        state = read_journal(path)
+        assert state.outcomes[label]["metrics"]["ipc"] == 2.0
+        assert state.claims[label] == 2
+
+    def test_headerless_journal_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(encode_line(
+            {"kind": "claim", "label": "x", "attempt": 0}) + "\n")
+        with pytest.raises(JournalError, match="no header"):
+            read_journal(path)
+
+    def test_spec_digest_mismatch_refuses_resume(self, tmp_path):
+        path = _write(tmp_path, _spec(), [])
+        state = read_journal(path)
+        with pytest.raises(JournalError, match="different sweep"):
+            state.validate_spec(_spec(benchmarks=["crc"]))
+
+
+class TestResumeAppend:
+    def test_resume_appends_after_torn_tail(self, tmp_path):
+        spec = _spec()
+        path = _write(tmp_path, spec,
+                      [_record("crc/max_blocks_in_flight=1"),
+                       _record("crc/max_blocks_in_flight=8")])
+        torn = path.read_text().rstrip("\n")
+        path.write_text(torn[: len(torn) - 20])
+        state = read_journal(path)
+        assert state.truncated
+        with SweepJournal.resume(path, spec, "run1", state) as journal:
+            journal.claim("crc/max_blocks_in_flight=8")
+            journal.outcome(_record("crc/max_blocks_in_flight=8",
+                                    run_id="run1"))
+        healed = read_journal(path)
+        # Still flagged truncated (the scar stays) but both outcomes
+        # now resolve, the re-executed one from the resumed run.
+        assert healed.truncated
+        labels = set(healed.outcomes)
+        assert labels == {"crc/max_blocks_in_flight=1",
+                          "crc/max_blocks_in_flight=8"}
+        assert healed.outcomes[
+            "crc/max_blocks_in_flight=8"]["run_id"] == "run1"
+
+    def test_resume_of_fresh_state_creates(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        state = read_journal(path)
+        with SweepJournal.resume(path, _spec(), "run0", state) as journal:
+            journal.claim("crc/max_blocks_in_flight=1")
+        assert not read_journal(path).fresh
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = SweepJournal.create(tmp_path / "j.jsonl", _spec(), "r")
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.claim("x")
+
+
+class TestRecordComparison:
+    def test_strip_volatile_removes_run_id_only(self):
+        record = _record("crc/x=1")
+        stripped = strip_volatile(record)
+        assert "run_id" not in stripped
+        assert stripped["metrics"] == record["metrics"]
+
+    def test_records_equal_modulo_run_id(self):
+        a = [_record("crc/x=1", run_id="run-a")]
+        b = [_record("crc/x=1", run_id="run-b")]
+        assert records_equal(a, b)
+        b[0]["metrics"] = {"ipc": 9.9, "cycles": 1}
+        assert not records_equal(a, b)
+        assert not records_equal(a, [])
