@@ -805,6 +805,77 @@ def _cmd_config(args, _runner) -> int:
     return 0
 
 
+def _cmd_serve(args, runner) -> int:
+    """Boot the always-warm service and run until drained.
+
+    The HTTP listener runs in a daemon thread; the main thread parks
+    on an event that SIGTERM/SIGINT set, then performs the graceful
+    drain — refuse new work with 503, finish in-flight requests (their
+    sweep journals close with them), stop the batch workers, write the
+    final metrics snapshot to the spool.
+    """
+    import signal
+    import threading
+    from pathlib import Path
+
+    from repro.pipeline import default_cache_dir
+    from repro.robust import FaultPlan
+    from repro.serve import ReproServer, ServeConfig
+
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultPlan.parse(args.faults, seed=args.seed)
+        except ValueError as exc:
+            print(f"bad --faults plan: {exc}", file=sys.stderr)
+            return 2
+    warm = tuple(name.strip() for name in (args.warm or "").split(",")
+                 if name.strip())
+    config = ServeConfig(
+        host=args.host, port=args.port, jobs=args.jobs,
+        cache_dir=Path(args.cache_dir or default_cache_dir()),
+        spool_dir=Path(args.spool), batch_window=args.batch_window,
+        max_queue=args.max_queue, rate=args.rate, burst=args.burst,
+        faults=faults, warm_benchmarks=warm)
+    try:
+        server = ReproServer(config)
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    stop = threading.Event()
+
+    def on_signal(signum, frame):
+        print(f"\nrepro serve: caught {signal.Signals(signum).name}, "
+              f"draining...", flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+
+    if warm:
+        print(f"repro serve: warming {len(warm)} benchmark(s)...",
+              flush=True)
+        server.service.warm(progress=lambda name: print(f"  warm {name}",
+                                                        flush=True))
+    server.start()
+    host, port = server.address
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(cache {config.cache_dir}, spool {config.spool_dir}, "
+          f"jobs {config.jobs})", flush=True)
+    if faults is not None:
+        print(f"repro serve: fault injection active — "
+              f"{faults.describe()}", flush=True)
+    stop.wait()
+    clean = server.drain(timeout=args.drain_timeout)
+    snapshot = server.service.spool / "metrics.json"
+    outcome = "cleanly" if clean else "WITH WORK ABANDONED"
+    print(f"repro serve: drained {outcome}; metrics snapshot at "
+          f"{snapshot}", flush=True)
+    return 0 if clean else 1
+
+
 def _add_robust_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--retries", type=int, default=2, metavar="N",
                         help="worker attempts per benchmark unit beyond the "
@@ -1002,6 +1073,52 @@ def build_parser() -> argparse.ArgumentParser:
                                   "resolving (same syntax as `repro run "
                                   "--config`)")
 
+    serve_p = sub.add_parser(
+        "serve", help="run the always-warm simulation service (HTTP)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8651,
+                         help="bind port; 0 picks a free one "
+                              "(default 8651)")
+    serve_p.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="batch-executor worker threads (default 2)")
+    serve_p.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="artifact cache location (default: "
+                              ".repro-cache at the repo root; serve "
+                              "always caches)")
+    serve_p.add_argument("--spool", default="serve-spool", metavar="DIR",
+                         help="directory for HTTP-submitted sweep "
+                              "journals/packs and the drain metrics "
+                              "snapshot (default serve-spool)")
+    serve_p.add_argument("--batch-window", type=float, default=0.005,
+                         metavar="SECONDS",
+                         help="micro-batch coalescing window "
+                              "(default 0.005)")
+    serve_p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                         help="bounded run-queue depth; past it the "
+                              "service sheds with 503 (default 64)")
+    serve_p.add_argument("--rate", type=float, default=20.0, metavar="R",
+                         help="per-client token-bucket refill, "
+                              "requests/second; 0 disables rate "
+                              "limiting (default 20)")
+    serve_p.add_argument("--burst", type=int, default=40, metavar="N",
+                         help="per-client token-bucket capacity "
+                              "(default 40)")
+    serve_p.add_argument("--faults", default=None, metavar="PLAN",
+                         help="inject a chaos fault plan into request "
+                              "execution (same syntax as `repro chaos "
+                              "--faults`); faulted requests answer with "
+                              "structured 5xx errors")
+    serve_p.add_argument("--seed", type=int, default=0, metavar="N",
+                         help="fault-plan probability seed (default 0)")
+    serve_p.add_argument("--warm", default=None, metavar="BENCH[,BENCH]",
+                         help="pre-warm these benchmarks' artifacts "
+                              "before accepting requests")
+    serve_p.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="graceful-drain budget on SIGTERM/SIGINT "
+                              "(default 30)")
+
     perf_p = sub.add_parser(
         "perf", help="host-performance benchmark harness")
     perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
@@ -1078,10 +1195,11 @@ def main(argv=None) -> int:
                "asm": _cmd_asm, "report": _cmd_report,
                "chaos": _cmd_chaos, "sweep": _cmd_sweep,
                "frontier": _cmd_frontier, "perf": _cmd_perf,
-               "config": _cmd_config, "pack": _cmd_pack}[args.command]
+               "config": _cmd_config, "pack": _cmd_pack,
+               "serve": _cmd_serve}[args.command]
     runner = _make_runner(args) \
         if args.command not in ("list", "frontier", "perf", "config",
-                                "pack") \
+                                "pack", "serve") \
         else None
     try:
         return handler(args, runner)

@@ -53,6 +53,7 @@ from repro.explore.shard import (
 )
 from repro.explore.spec import (
     IDEAL_AXES, SpecError, SweepSpec, load_spec, parse_overrides,
+    validate_settings,
 )
 
 __all__ = [
@@ -89,6 +90,7 @@ __all__ = [
     "run_sweep_sharded",
     "sensitivity_rows",
     "spec_fingerprint",
+    "validate_settings",
     "verify_pack",
     "warm_point",
     "write_artifacts",

@@ -52,7 +52,8 @@ from repro.robust import (
 )
 from repro.uarch.config import TripsConfig
 
-__all__ = ["SweepResult", "run_sweep", "run_sweep_batched", "warm_point"]
+__all__ = ["SweepResult", "point_artifact", "point_metrics", "run_sweep",
+           "run_sweep_batched", "warm_point"]
 
 #: Pipeline stages whose computes count as "simulations" in the sweep
 #: summary (the CI smoke job asserts the warm rerun reports zero).
@@ -105,6 +106,14 @@ def _metrics(system: str, artifact) -> Dict[str, Any]:
         }
     return {"cycles": artifact.cycles, "ipc": artifact.ipc,
             "executed": artifact.executed, "blocks": artifact.blocks}
+
+
+#: Public names for the per-point resolution/record helpers: the serve
+#: subsystem routes its ``/v1/run`` payloads through the exact same
+#: code path as sweep points, so an HTTP run and a sweep point of the
+#: same configuration can never diverge in key or shape.
+point_artifact = _point_artifact
+point_metrics = _metrics
 
 
 @dataclass
@@ -327,6 +336,7 @@ def run_sweep_batched(spec: SweepSpec, cache_dir, out_dir,
                       progress: Optional[Callable[[str], None]] = None,
                       resume: bool = False,
                       fsync: bool = True,
+                      pipeline: Optional[Pipeline] = None,
                       ) -> SweepResult:
     """Execute every design point lock-step in one process
     (``repro sweep --batch``).
@@ -350,6 +360,12 @@ def run_sweep_batched(spec: SweepSpec, cache_dir, out_dir,
     shared-setup speedup.  The journal is written all the same, and
     ``resume=True`` replays it, so the two engines can even resume
     *each other's* killed runs.
+
+    ``pipeline`` lets a caller supply an already-warm
+    :class:`Pipeline` over the same ``cache_dir`` (``repro serve``
+    passes a :meth:`~repro.pipeline.core.Pipeline.fork` of its
+    long-lived one); it must carry fresh telemetry, since the sweep's
+    computed/reused accounting reads this pipeline's counters.
     """
     if cache_dir is None:
         raise ValueError("sweeps require the artifact cache "
@@ -364,7 +380,8 @@ def run_sweep_batched(spec: SweepSpec, cache_dir, out_dir,
     labels = {point.label for point in points}
     journal, replayed = _open_journal(out_dir, spec, run_id, resume,
                                       labels, fsync)
-    pipeline = Pipeline(cache_dir=str(cache_dir))
+    if pipeline is None:
+        pipeline = Pipeline(cache_dir=str(cache_dir))
     records: List[Dict[str, Any]] = []
     try:
         for point in points:

@@ -176,6 +176,23 @@ def parse_overrides(items: Optional[Sequence[str]],
     return overrides
 
 
+def validate_settings(settings: Optional[Dict[str, Any]],
+                      system: str = "cycles") -> Dict[str, Any]:
+    """Validate an already-parsed settings mapping (JSON bodies).
+
+    The dict-shaped sibling of :func:`parse_overrides`: axis names are
+    checked against ``system``'s domain (with did-you-mean
+    suggestions) and values are type-checked without string parsing —
+    the ``repro serve`` request path shares the sweep spec's error
+    story this way.
+    """
+    validated: Dict[str, Any] = {}
+    for name, value in (settings or {}).items():
+        expected = _check_axis_name(str(name), system)
+        validated[str(name)] = _check_value(str(name), value, expected)
+    return validated
+
+
 def parse_axis_points(items: Optional[Sequence[str]],
                       system: str) -> Dict[str, List[Any]]:
     """Parse ``--points AXIS=V1,V2,...`` occurrences (one axis each)."""

@@ -20,6 +20,7 @@ benchmark                 what it times
 ``cycle-sim-batched``     ``cycle-sim`` on the batched kernel backend
 ``sweep-batched``         lock-step multi-point sweep (``sweep --batch``)
 ``sweep-journal``         journal append + replay (checksummed JSONL)
+``serve-roundtrip``       warm ``POST /v1/run`` over the serve HTTP API
 ========================  ==================================================
 """
 
@@ -291,6 +292,42 @@ def _run_sweep_journal(state):
     return len(replayed.outcomes)
 
 
+#: Warm ``POST /v1/run`` round-trips per ``serve-roundtrip`` sample —
+#: enough that socket setup and JSON framing dominate over timer
+#: granularity, the way a client actually uses the service.
+_SERVE_ROUNDTRIPS = 20
+_SERVE_BENCH = "vadd"
+
+
+def _setup_serve_roundtrip():
+    from repro.serve import ReproServer, ServeClient, ServeConfig
+    root = Path(tempfile.mkdtemp(prefix="repro-perf-serve-"))
+    server = ReproServer(ServeConfig(
+        host="127.0.0.1", port=0, cache_dir=root / "cache",
+        spool_dir=root / "spool", rate=0.0, batch_window=0.0)).start()
+    client = ServeClient(server.url, client_id="perf")
+    # Pay the cold resolution once so every timed round-trip measures
+    # the always-warm path: HTTP + validate + dedup + cache hit.
+    client.run(_SERVE_BENCH)
+    return SimpleNamespace(root=root, server=server, client=client)
+
+
+def _run_serve_roundtrip(state):
+    cycles = None
+    for _ in range(_SERVE_ROUNDTRIPS):
+        response = state.client.run(_SERVE_BENCH)
+        if not response["warm"]:
+            raise RuntimeError("serve-roundtrip request missed the "
+                               "warm cache")
+        cycles = response["metrics"]["cycles"]
+    return cycles
+
+
+def _teardown_serve_roundtrip(state):
+    state.server.drain(timeout=10.0)
+    shutil.rmtree(state.root, ignore_errors=True)
+
+
 _SUITE: List[BenchSpec] = [
     BenchSpec("ir-interp", "simulators",
               f"IR reference interpreter, {_INTERP_BENCH} end to end",
@@ -331,6 +368,11 @@ _SUITE: List[BenchSpec] = [
               f"replay",
               _setup_sweep_journal, _run_sweep_journal,
               _teardown_tmpdir),
+    BenchSpec("serve-roundtrip", "serve",
+              f"warm POST /v1/run over HTTP, {_SERVE_ROUNDTRIPS} "
+              f"round-trips ({_SERVE_BENCH})",
+              _setup_serve_roundtrip, _run_serve_roundtrip,
+              _teardown_serve_roundtrip),
 ]
 
 

@@ -161,6 +161,32 @@ class Pipeline:
         #: tests can sabotage a checksum and assert the guard fires.
         self._expected: Dict[str, Any] = {}
 
+    def fork(self) -> "Pipeline":
+        """A pipeline sharing this one's warm artifacts, with fresh
+        telemetry.
+
+        The in-memory stage cache and golden-result dict are shared by
+        reference (both are append-only maps of immutable artifacts, so
+        concurrent readers are safe), while the returned pipeline gets
+        its own :class:`Telemetry` and its own store handle over the
+        same cache directory.  ``repro serve`` forks the long-lived
+        warm pipeline per sweep request so per-request computed/reused
+        accounting starts at zero without giving up the warm front-end.
+        """
+        clone = Pipeline(
+            cache_dir=self.store.base if self.store is not None else None)
+        clone._memory = self._memory
+        clone._expected = self._expected
+        return clone
+
+    def cached(self, stage: str, digest: str) -> bool:
+        """Whether an artifact is already warm (memory or disk), without
+        loading it — the serve layer's cheap per-request warm probe."""
+        if (stage, digest) in self._memory:
+            return True
+        return self.store is not None and \
+            self.store.path_for(stage, digest).exists()
+
     # -- generic stage resolution ------------------------------------------
 
     def _emit(self, stage: str, event: str, seconds: float, digest: str,

@@ -1,0 +1,157 @@
+"""Minimal stdlib HTTP client for the serve endpoints.
+
+:class:`ServeClient` wraps :mod:`urllib.request` — no third-party
+dependency, one short method per endpoint — and is what the test
+suite, the ``serve-roundtrip`` perf benchmark, and the CI smoke drill
+talk through, so the client is exercised as hard as the server.
+
+Error contract: any non-2xx response with a structured
+``{"error": {...}}`` body raises :class:`ServeError` carrying the
+HTTP status, the taxonomy ``kind`` (exception type name), the cause
+string, and ``retry_after`` when the server set it (429/503).  The
+sweep endpoint streams NDJSON; :meth:`ServeClient.sweep` forwards
+each progress event to an optional callback and returns the final
+summary, raising :class:`ServeError` for in-band error events.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A structured error response from the service."""
+
+    def __init__(self, status: int, kind: str, cause: str,
+                 retry_after: Optional[float] = None,
+                 body: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(f"{status} {kind}: {cause}")
+        self.status = status
+        self.kind = kind
+        self.cause = cause
+        self.retry_after = retry_after
+        self.body = body or {}
+
+
+class ServeClient:
+    """Blocking JSON client for one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, client_id: Optional[str] = None,
+                 timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- endpoint methods --------------------------------------------------
+
+    def run(self, benchmark: str,
+            config: Optional[Dict[str, Any]] = None,
+            system: str = "cycles",
+            variant: str = "compiled") -> Dict[str, Any]:
+        """``POST /v1/run`` — one simulation, served warm."""
+        return self._post_json("/v1/run", {
+            "benchmark": benchmark, "system": system,
+            "variant": variant, "config": config or {}})
+
+    def sweep(self, spec: Dict[str, Any],
+              on_progress: Optional[Callable[[Dict[str, Any]], None]]
+              = None) -> Dict[str, Any]:
+        """``POST /v1/sweep`` — journaled sweep with streamed progress."""
+        request = self._request("POST", "/v1/sweep", spec)
+        events: List[Dict[str, Any]] = []
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                for raw in response:
+                    line = raw.decode("utf-8").strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    events.append(event)
+                    if event.get("event") == "point" \
+                            and on_progress is not None:
+                        on_progress(event)
+        except urllib.error.HTTPError as exc:
+            raise self._to_error(exc) from None
+        for event in events:
+            if event.get("event") == "error":
+                detail = event.get("error", {})
+                raise ServeError(int(event.get("status", 500)),
+                                 str(detail.get("type", "Error")),
+                                 str(detail.get("cause", "sweep failed")),
+                                 body=event)
+            if event.get("event") == "done":
+                return event["result"]
+        raise ServeError(502, "TruncatedStream",
+                         "sweep stream ended without a terminal event")
+
+    def trace(self, benchmark: str, variant: str = "compiled",
+              buckets: Optional[int] = None) -> Dict[str, Any]:
+        """``GET /v1/trace/<benchmark>`` — OPN heatmap + occupancy."""
+        path = f"/v1/trace/{benchmark}?variant={variant}"
+        if buckets is not None:
+            path += f"&buckets={buckets}"
+        return self._get_json(path)
+
+    def artifact(self, digest: str) -> Dict[str, Any]:
+        """``GET /v1/artifacts/<digest>`` — one stored artifact."""
+        return self._get_json(f"/v1/artifacts/{digest}")
+
+    def status(self) -> Dict[str, Any]:
+        return self._get_json("/v1/status")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._get_json("/v1/metrics")
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Any] = None) -> urllib.request.Request:
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        return urllib.request.Request(self.base_url + path, data=data,
+                                      headers=headers, method=method)
+
+    def _open(self, request: urllib.request.Request) -> Dict[str, Any]:
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._to_error(exc) from None
+
+    def _get_json(self, path: str) -> Dict[str, Any]:
+        return self._open(self._request("GET", path))
+
+    def _post_json(self, path: str, body: Any) -> Dict[str, Any]:
+        return self._open(self._request("POST", path, body))
+
+    @staticmethod
+    def _to_error(exc: urllib.error.HTTPError) -> ServeError:
+        retry_after: Optional[float] = None
+        header = exc.headers.get("Retry-After") if exc.headers else None
+        if header:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        try:
+            body = json.loads(exc.read().decode("utf-8"))
+            detail = body.get("error", {})
+            return ServeError(exc.code,
+                              str(detail.get("type", "Error")),
+                              str(detail.get("cause", exc.reason)),
+                              retry_after=retry_after, body=body)
+        except Exception:
+            return ServeError(exc.code, "Error", str(exc.reason),
+                              retry_after=retry_after)

@@ -1,0 +1,166 @@
+"""Live service metrics: counters, latency histograms, one snapshot.
+
+Everything ``GET /v1/metrics`` reports funnels through one
+:class:`ServeMetrics` instance — request counts and latency histograms
+per endpoint, dedup/batch/rate-limit/shed counters, and (joined in by
+the service at snapshot time) the warm pipeline's
+:class:`~repro.pipeline.observe.Telemetry` cache counters.  All
+mutation is lock-guarded: handler threads, batch workers, and the
+drain path record concurrently.
+
+Latencies are folded into fixed log-spaced millisecond buckets rather
+than kept as samples, so a long-lived server's memory is O(buckets)
+per endpoint and percentiles (p50/p95/p99) are bucket upper-bound
+estimates — the standard always-on trade (cf. Prometheus histograms):
+cheap forever, precise to one bucket.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LatencyHistogram", "ServeMetrics"]
+
+#: Histogram bucket upper bounds, milliseconds (log-spaced, +inf last).
+BUCKET_BOUNDS_MS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+    float("inf"))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimation."""
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * len(BUCKET_BOUNDS_MS)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, ms: float) -> None:
+        for index, bound in enumerate(BUCKET_BOUNDS_MS):
+            if ms <= bound:
+                self.counts[index] += 1
+                break
+        self.total += 1
+        self.sum_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+
+    def percentile(self, quantile: float) -> float:
+        """Upper bound of the bucket containing the ``quantile`` rank
+        (0 with no observations; the last finite bound for +inf)."""
+        if not self.total:
+            return 0.0
+        rank = quantile * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                bound = BUCKET_BOUNDS_MS[index]
+                return bound if bound != float("inf") \
+                    else BUCKET_BOUNDS_MS[-2]
+        return BUCKET_BOUNDS_MS[-2]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.total,
+            "sum_ms": round(self.sum_ms, 3),
+            "mean_ms": round(self.sum_ms / self.total, 3)
+            if self.total else 0.0,
+            "max_ms": round(self.max_ms, 3),
+            "p50_ms": self.percentile(0.50),
+            "p95_ms": self.percentile(0.95),
+            "p99_ms": self.percentile(0.99),
+            "buckets": {
+                ("+inf" if bound == float("inf") else f"{bound:g}"): count
+                for bound, count in zip(BUCKET_BOUNDS_MS, self.counts)
+                if count},
+        }
+
+
+class ServeMetrics:
+    """Thread-safe aggregation point for everything the service counts."""
+
+    def __init__(self, clock=time.time) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.started = clock()
+        #: (endpoint) -> histogram of wall latencies.
+        self._latency: Dict[str, LatencyHistogram] = {}
+        #: (endpoint, status) -> responses sent.
+        self._responses: Dict[Tuple[str, int], int] = {}
+        #: Free-form event counters (dedup.shared, batch.batches, ...).
+        self._counters: Dict[str, int] = {}
+        #: Largest micro-batch executed so far.
+        self.max_batch = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        with self._lock:
+            histogram = self._latency.setdefault(endpoint,
+                                                 LatencyHistogram())
+            histogram.observe(seconds * 1000.0)
+            key = (endpoint, status)
+            self._responses[key] = self._responses.get(key, 0) + 1
+
+    def count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._counters["batch.batches"] = \
+                self._counters.get("batch.batches", 0) + 1
+            self._counters["batch.requests"] = \
+                self._counters.get("batch.requests", 0) + size
+            self.max_batch = max(self.max_batch, size)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self, telemetry=None,
+                 extra: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
+        """The full ``/v1/metrics`` document (JSON-ready)."""
+        with self._lock:
+            endpoints: Dict[str, Dict[str, object]] = {}
+            for endpoint, histogram in sorted(self._latency.items()):
+                by_status = {
+                    str(status): count
+                    for (ep, status), count in sorted(
+                        self._responses.items())
+                    if ep == endpoint}
+                entry = histogram.as_dict()
+                entry["responses"] = by_status
+                entry["errors"] = sum(
+                    count for (ep, status), count in self._responses.items()
+                    if ep == endpoint and status >= 400)
+                endpoints[endpoint] = entry
+            document: Dict[str, object] = {
+                "started": round(self.started, 3),
+                "uptime_s": round(self._clock() - self.started, 3),
+                "counters": dict(sorted(self._counters.items())),
+                "max_batch": self.max_batch,
+                "endpoints": endpoints,
+            }
+        if telemetry is not None:
+            cache: Dict[str, object] = {}
+            for stage in sorted(telemetry.stages):
+                counters = telemetry.counters(stage)
+                cache[stage] = {
+                    "requests": counters.requests,
+                    "memory_hits": counters.memory_hits,
+                    "disk_hits": counters.disk_hits,
+                    "computes": counters.computes,
+                    "hit_rate": round(counters.hit_rate, 4),
+                    "corrupt": counters.corrupt_entries,
+                }
+            document["cache"] = cache
+        if extra:
+            document.update(extra)
+        return document

@@ -1,0 +1,86 @@
+"""Per-client token-bucket rate limiting for ``repro serve``.
+
+Classic token bucket, one per client key: a bucket holds up to
+``burst`` tokens, refills at ``rate`` tokens/second, and each request
+spends one.  An empty bucket rejects with the seconds until one token
+exists again — the handler turns that into ``429`` +
+``Retry-After`` (rounded up to whole seconds, per RFC 9110).
+
+The client key is the ``X-Repro-Client`` header when present (load
+generators and multi-tenant proxies can name themselves), else the
+peer address — so a misbehaving client throttles itself, not the
+fleet.  The clock is injectable (monotonic by default) and all state
+mutation is lock-guarded; buckets idle past ``idle_evict`` seconds
+are dropped so the table cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Tuple
+
+__all__ = ["RateLimiter"]
+
+#: Drop buckets untouched for this long (they are full anyway).
+IDLE_EVICT_S = 300.0
+
+
+class _Bucket:
+    __slots__ = ("tokens", "stamp")
+
+    def __init__(self, tokens: float, stamp: float) -> None:
+        self.tokens = tokens
+        self.stamp = stamp
+
+
+class RateLimiter:
+    """Token buckets keyed by client id.
+
+    ``rate <= 0`` disables limiting entirely (every request allowed) —
+    the CLI default is a generous-but-finite budget so an accidental
+    `while true; do curl; done` cannot monopolize the simulator.
+    """
+
+    def __init__(self, rate: float, burst: int,
+                 clock=time.monotonic,
+                 idle_evict: float = IDLE_EVICT_S) -> None:
+        self.rate = float(rate)
+        self.burst = max(1, int(burst))
+        self._clock = clock
+        self._idle_evict = idle_evict
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, _Bucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, client: str) -> Tuple[bool, float]:
+        """``(allowed, retry_after_seconds)`` for one request."""
+        if not self.enabled:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            self._evict(now)
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = _Bucket(float(self.burst), now)
+                self._buckets[client] = bucket
+            else:
+                elapsed = max(0.0, now - bucket.stamp)
+                bucket.tokens = min(float(self.burst),
+                                    bucket.tokens + elapsed * self.rate)
+                bucket.stamp = now
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                return True, 0.0
+            return False, (1.0 - bucket.tokens) / self.rate
+
+    def _evict(self, now: float) -> None:
+        if len(self._buckets) < 1024:
+            return
+        stale = [client for client, bucket in self._buckets.items()
+                 if now - bucket.stamp > self._idle_evict]
+        for client in stale:
+            del self._buckets[client]

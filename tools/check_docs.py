@@ -38,7 +38,8 @@ DOC_GLOBS = ("docs/*.md",)
 #: Reference docs that must exist (a rename or deletion without
 #: updating this registry is a CI failure, not a silent skip).
 REQUIRED_DOCS = ("docs/TRACE.md", "docs/ROBUSTNESS.md", "docs/SWEEP.md",
-                 "docs/PERF.md", "docs/COMPONENTS.md", "docs/KERNELS.md")
+                 "docs/PERF.md", "docs/COMPONENTS.md", "docs/KERNELS.md",
+                 "docs/SERVE.md")
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _INLINE_FLAG = re.compile(r"`(--[A-Za-z][A-Za-z0-9-]*)")

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""End-to-end smoke drill for ``repro serve`` (run by the CI serve job).
+
+Boots a real server subprocess and drives the whole advertised
+contract through the bundled client, under a hard wall-clock budget:
+
+1. **Warm beats cold.**  The p50 of warm ``POST /v1/run`` round-trips
+   must be faster than one cold ``repro run`` CLI invocation against
+   the *same* artifact cache — the service's reason to exist, measured.
+2. **Concurrent dedup.**  N identical concurrent requests for a
+   never-before-seen configuration must cost exactly one simulation,
+   proven by the pipeline telemetry's compute counters in
+   ``/v1/metrics`` (not by timing).
+3. **HTTP sweeps are real sweeps.**  A sweep submitted over HTTP must
+   leave a journal + attested pack that ``repro pack verify`` accepts
+   (exit 0).
+4. **Graceful drain.**  SIGTERM must exit 0 with the final metrics
+   snapshot written to the spool.
+
+Exits 0 when every gate holds; prints one ``FAIL:`` line and exits 1
+otherwise.  The metrics snapshot path is printed for artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+HARD_DEADLINE = time.monotonic() + float(os.environ.get(
+    "SERVE_SMOKE_TIMEOUT", "420"))
+
+BENCH = "vadd"
+WARM_ROUNDTRIPS = 15
+DEDUP_CLIENTS = 6
+
+
+def check_deadline(stage: str) -> None:
+    if time.monotonic() > HARD_DEADLINE:
+        print(f"FAIL: hard timeout during {stage}")
+        sys.exit(1)
+
+
+def fail(message: str, proc: subprocess.Popen = None) -> None:
+    print(f"FAIL: {message}")
+    if proc is not None and proc.poll() is None:
+        proc.kill()
+    sys.exit(1)
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.serve import ServeClient
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    cache_dir, spool = tmp / "cache", tmp / "spool"
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+    print(f"serve smoke: spool at {spool}")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", str(cache_dir), "--spool", str(spool),
+         "--rate", "0", "--batch-window", "0.02"],
+        cwd=REPO, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    boot = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", boot)
+    if not match:
+        fail(f"server did not report an address: {boot!r}", proc)
+    port = int(match.group(1))
+    client = ServeClient(f"http://127.0.0.1:{port}", client_id="smoke")
+    print(f"serve smoke: server up on port {port}")
+
+    try:
+        # -- gate 1: warm HTTP p50 beats one cold CLI invocation -------
+        check_deadline("warmup")
+        first = client.run(BENCH)
+        if first["warm"]:
+            fail("first request cannot be warm on a fresh cache", proc)
+        latencies = []
+        for _ in range(WARM_ROUNDTRIPS):
+            started = time.perf_counter()
+            response = client.run(BENCH)
+            latencies.append(time.perf_counter() - started)
+            if not response["warm"]:
+                fail("repeat request missed the warm cache", proc)
+        warm_p50 = statistics.median(latencies)
+
+        check_deadline("cold CLI baseline")
+        started = time.perf_counter()
+        cold = subprocess.run(
+            [sys.executable, "-m", "repro", "run", BENCH,
+             "--cache-dir", str(cache_dir)],
+            cwd=REPO, env=env, capture_output=True, text=True)
+        cold_wall = time.perf_counter() - started
+        if cold.returncode != 0:
+            fail(f"cold `repro run` failed:\n{cold.stdout}{cold.stderr}",
+                 proc)
+        print(f"serve smoke: warm p50 {warm_p50 * 1000:.1f} ms vs cold "
+              f"CLI {cold_wall * 1000:.0f} ms "
+              f"({cold_wall / warm_p50:.0f}x)")
+        if warm_p50 >= cold_wall:
+            fail("warm round-trip is not faster than a cold CLI run",
+                 proc)
+
+        # -- gate 2: concurrent identical requests -> one simulation ---
+        check_deadline("dedup drill")
+        before = client.metrics()["cache"]["trips-cycles"]["computes"]
+        body = {"max_blocks_in_flight": 3}   # not cached yet
+        results, errors = [], []
+
+        def fire():
+            try:
+                results.append(client.run(BENCH, config=dict(body)))
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fire)
+                   for _ in range(DEDUP_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        if errors:
+            fail(f"dedup drill request failed: {errors[0]}", proc)
+        after = client.metrics()["cache"]["trips-cycles"]["computes"]
+        simulated = after - before
+        shared = sum(1 for r in results if r["deduped"])
+        print(f"serve smoke: {DEDUP_CLIENTS} identical concurrent "
+              f"requests -> {simulated} simulation(s), {shared} deduped")
+        if len(results) != DEDUP_CLIENTS:
+            fail("dedup drill lost responses", proc)
+        if simulated != 1:
+            fail(f"expected exactly 1 simulation, counters say "
+                 f"{simulated}", proc)
+        digests = {r["digest"] for r in results}
+        bodies = {json.dumps(r["metrics"], sort_keys=True)
+                  for r in results}
+        if len(digests) != 1 or len(bodies) != 1:
+            fail("deduped responses disagree", proc)
+
+        # -- gate 3: HTTP sweep -> pack verify exits 0 -----------------
+        check_deadline("HTTP sweep")
+        summary = client.sweep({
+            "name": "smoke", "benchmarks": [BENCH],
+            "axes": {"max_blocks_in_flight": [1, 2]}})
+        if not summary["ok"]:
+            fail(f"HTTP sweep reported holes: {summary['holes']}", proc)
+        verify = subprocess.run(
+            [sys.executable, "-m", "repro", "pack", "verify",
+             summary["out_dir"]],
+            cwd=REPO, env=env, capture_output=True, text=True)
+        print(f"serve smoke: {verify.stdout.strip()}")
+        if verify.returncode != 0:
+            fail(f"pack verify rejected the HTTP sweep:\n"
+                 f"{verify.stdout}{verify.stderr}", proc)
+
+        # -- status sanity ---------------------------------------------
+        status = client.status()
+        if status["draining"] or status["service"] != "repro-serve":
+            fail(f"bad status payload: {status}", proc)
+
+        # -- gate 4: graceful SIGTERM drain ----------------------------
+        check_deadline("drain")
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        if proc.returncode != 0:
+            fail(f"drain exited {proc.returncode}:\n{out}")
+        snapshot = spool / "metrics.json"
+        if not snapshot.exists():
+            fail("drain did not write the metrics snapshot")
+        document = json.loads(snapshot.read_text())
+        if not document.get("drained_clean"):
+            fail("metrics snapshot says the drain was not clean")
+        print(f"serve smoke: drained cleanly; "
+              f"runs.ok={document['counters'].get('runs.ok')} "
+              f"batches={document['counters'].get('batch.batches')}")
+        print(f"serve smoke: metrics snapshot at {snapshot}")
+        print("serve smoke: OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
