@@ -709,6 +709,13 @@ def _perf_run(args) -> int:
     path = perf.write_bench(payload, args.out)
     print(f"wrote {path}")
 
+    from repro.obs import annotate_run
+    annotate_run(label="perf run" + (" --quick" if args.quick else ""),
+                 artifacts={"bench": str(path)},
+                 benchmarks=len(results),
+                 medians_ms={result.name: round(result.median_s * 1e3, 3)
+                             for result in results})
+
     if args.profile_hotspots:
         from repro.eval.report import format_table
         for spec in specs:
@@ -737,12 +744,100 @@ def _perf_compare(args) -> int:
     rows = perf.compare_payloads(base, new, warn_pct=args.warn_pct,
                                  fail_pct=args.fail_pct,
                                  noise_mads=args.noise_mads)
-    print(perf.render_comparison(rows, str(args.base), str(args.new)))
+    base_run = (base.get("run") or {}).get("run_id", "")
+    new_run = (new.get("run") or {}).get("run_id", "")
+    print(perf.render_comparison(rows, str(args.base), str(args.new),
+                                 base_run_id=base_run,
+                                 new_run_id=new_run))
     code = perf.exit_code(rows)
     verdict = {perf.EXIT_OK: "ok", perf.EXIT_WARN: "WARN",
                perf.EXIT_REGRESSION: "REGRESSION"}[code]
     print(f"\nverdict: {verdict} (exit {code})")
+
+    from repro.obs import annotate_run
+    annotate_run(label="perf compare", outcome=verdict.lower(),
+                 artifacts={"base": str(args.base),
+                            "new": str(args.new)},
+                 base_run_id=base_run, new_run_id=new_run)
     return code
+
+
+def _cmd_runs(args, _runner) -> int:
+    import json as _json
+
+    from repro.obs import RunIndex, default_index_path
+
+    path = default_index_path(args.cache_dir)
+    if not path.exists() and args.runs_command != "compact":
+        print(f"runs: no index at {path} (nothing recorded yet)",
+              file=sys.stderr)
+        return 1
+    index = RunIndex(path)
+    try:
+        if args.runs_command == "list":
+            rows = index.query(limit=args.limit)
+            if not rows:
+                print("runs: index is empty", file=sys.stderr)
+                return 1
+            from repro.eval.report import format_table
+            import time as _time
+            table = [[row["id"],
+                      _time.strftime("%m-%d %H:%M:%S",
+                                     _time.localtime(row["started"])),
+                      row["kind"], row["label"] or "-", row["outcome"],
+                      f"{row['wall_s']:.2f}", row["run_id"]]
+                     for row in rows]
+            print(format_table(
+                f"Run index — {path}",
+                ["id", "started", "kind", "label", "outcome", "wall s",
+                 "run id"],
+                table, "newest first; `repro runs show <id>` for the "
+                       "full row."))
+            return 0
+        if args.runs_command == "show":
+            row = index.get(args.id)
+            if row is None:
+                print(f"runs: no row with id {args.id}", file=sys.stderr)
+                return 1
+            print(_json.dumps(row, indent=2, sort_keys=True))
+            return 0
+        if args.runs_command == "compact":
+            max_age_s = args.max_age_days * 86400.0 \
+                if args.max_age_days is not None else None
+            removed = index.compact(keep=args.keep, max_age_s=max_age_s)
+            print(f"runs: dropped {removed} row(s), "
+                  f"{index.count()} kept")
+            return 0
+        import time as _time
+        since = (_time.time() - args.since_s) \
+            if args.since_s is not None else None
+        rows = index.query(kind=args.kind, run_id=args.run_id,
+                           outcome=args.outcome, label_like=args.label,
+                           since=since, limit=args.limit)
+        for row in rows:
+            print(_json.dumps(row, sort_keys=True))
+        if not rows:
+            print("runs: no rows match the query", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        index.close()
+
+
+def _cmd_spans(args, _runner) -> int:
+    from pathlib import Path
+
+    from repro.obs import export_chrome
+
+    source = Path(args.source)
+    if not source.exists():
+        print(f"spans: no such file: {source}", file=sys.stderr)
+        return 2
+    out = Path(args.out) if args.out \
+        else source.with_suffix(".trace.json")
+    count = export_chrome(source, out)
+    print(f"wrote {out} ({count} span event(s))")
+    return 0 if count else 1
 
 
 def _cmd_config(args, _runner) -> int:
@@ -895,6 +990,12 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                         help="disable the persistent artifact cache")
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="append JSONL pipeline events to FILE")
+    parser.add_argument("--spans", default=None, metavar="FILE",
+                        help="append JSONL spans to FILE (stage "
+                             "resolutions, sweep points, supervised "
+                             "attempts); pool workers inherit the sink; "
+                             "export with `repro spans export` "
+                             "(docs/OBSERVABILITY.md)")
     parser.add_argument("--profile", action="store_true",
                         help="print a per-stage pipeline profile")
 
@@ -1119,6 +1220,61 @@ def build_parser() -> argparse.ArgumentParser:
                          help="graceful-drain budget on SIGTERM/SIGINT "
                               "(default 30)")
 
+    runs_p = sub.add_parser(
+        "runs", help="query the persisted run index "
+                     "(docs/OBSERVABILITY.md)")
+    runs_common = argparse.ArgumentParser(add_help=False)
+    runs_common.add_argument("--cache-dir", default=None, metavar="PATH",
+                             help="cache directory holding index.db "
+                                  "(default: .repro-cache at the repo "
+                                  "root)")
+    runs_sub = runs_p.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", parents=[runs_common],
+        help="most recent indexed runs, as a table")
+    runs_list.add_argument("--limit", type=int, default=20, metavar="N",
+                           help="rows to show (default 20)")
+    runs_show = runs_sub.add_parser(
+        "show", parents=[runs_common], help="one indexed run, as JSON")
+    runs_show.add_argument("id", type=int, help="row id (see runs list)")
+    runs_query = runs_sub.add_parser(
+        "query", parents=[runs_common],
+        help="filtered rows as JSON lines; exits 1 when "
+             "nothing matches")
+    runs_query.add_argument("--kind", default=None,
+                            help="run kind (run, report, sweep, perf, "
+                                 "serve-run, ...)")
+    runs_query.add_argument("--run-id", default=None, dest="run_id",
+                            help="exact run id")
+    runs_query.add_argument("--outcome", default=None,
+                            help="outcome filter (ok, holes, error, ...)")
+    runs_query.add_argument("--label", default=None,
+                            help="substring match on the label")
+    runs_query.add_argument("--since-s", type=float, default=None,
+                            metavar="SECONDS", dest="since_s",
+                            help="only runs started in the last SECONDS")
+    runs_query.add_argument("--limit", type=int, default=50, metavar="N",
+                            help="rows to return (default 50)")
+    runs_compact = runs_sub.add_parser(
+        "compact", parents=[runs_common],
+        help="retention: drop old rows and vacuum")
+    runs_compact.add_argument("--keep", type=int, default=500, metavar="N",
+                              help="newest rows to keep (default 500)")
+    runs_compact.add_argument("--max-age-days", type=float, default=None,
+                              metavar="DAYS", dest="max_age_days",
+                              help="also drop rows older than DAYS")
+
+    spans_p = sub.add_parser(
+        "spans", help="work with span JSONL files (--spans FILE)")
+    spans_sub = spans_p.add_subparsers(dest="spans_command", required=True)
+    spans_export = spans_sub.add_parser(
+        "export", help="convert spans to Chrome trace-event JSON "
+                       "(chrome://tracing, Perfetto)")
+    spans_export.add_argument("source", help="span JSONL file")
+    spans_export.add_argument("--out", default=None, metavar="FILE",
+                              help="output path (default: "
+                                   "<source>.trace.json)")
+
     perf_p = sub.add_parser(
         "perf", help="host-performance benchmark harness")
     perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
@@ -1184,6 +1340,66 @@ def _make_runner(args):
     return Runner(pipeline=Pipeline(cache_dir=cache_dir, trace=trace))
 
 
+#: Commands the epilogue records into the run index.  ``sweep`` (and
+#: ``chaos``, which drives the sweep engine) self-record richer rows in
+#: :func:`repro.explore.engine._finish`; ``runs``/``spans``/``list``
+#: and friends are reads, not runs.
+_INDEXED_COMMANDS = ("run", "report", "trace", "perf")
+
+
+def _record_invocation(args, runner, code, started_wall: float,
+                       wall_s: float) -> None:
+    """Append this invocation's row to the persisted run index.
+
+    Best-effort by design: a broken index must never change a
+    command's exit code.  Skipped when the cache is disabled — the
+    index lives with the artifact store it describes.
+    """
+    if args.command not in _INDEXED_COMMANDS:
+        return
+    try:
+        from repro import runctx
+        from repro.obs import (
+            consume_annotations, default_index_path, record_run,
+        )
+        from repro.pipeline import cache_enabled
+
+        if runner is not None:
+            if runner.pipeline.store is None:
+                return
+            index_path = default_index_path(runner.pipeline.store.base)
+        elif cache_enabled():
+            index_path = default_index_path(
+                getattr(args, "cache_dir", None))
+        else:
+            return
+        notes = consume_annotations()
+        label = notes.pop("label", "") or \
+            getattr(args, "benchmark", "") or \
+            getattr(args, "perf_command", "") or ""
+        outcome = notes.pop("outcome", None) or \
+            ("ok" if code == 0 else
+             "error" if code is None else f"exit-{code}")
+        artifacts = notes.pop("artifacts", {})
+        extra = {key: notes.pop(key, "")
+                 for key in ("spec_digest", "config_digest")}
+        metrics = notes
+        if runner is not None:
+            metrics.setdefault(
+                "computes", runner.pipeline.telemetry.computes())
+        run = runctx.current()
+        record_run(run.run_id, args.command, index_path=index_path,
+                   label=str(label), git_sha=run.git_sha,
+                   source_digest=run.source_digest,
+                   spec_digest=str(extra["spec_digest"]),
+                   config_digest=str(extra["config_digest"]),
+                   started=started_wall, wall_s=wall_s,
+                   outcome=str(outcome), artifacts=artifacts,
+                   metrics=metrics)
+    except Exception:
+        pass
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     # Mint (or adopt) the invocation's RunContext before any work: the
@@ -1191,18 +1407,29 @@ def main(argv=None) -> int:
     # every stamped artifact of this invocation shares one run id.
     from repro import runctx
     runctx.current()
+    if getattr(args, "spans", None):
+        # Installed before any pipeline exists and exported to the
+        # environment, so pool workers append to the same span file.
+        from repro import obs
+        obs.install_recorder(args.spans, export_env=True)
     handler = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
                "asm": _cmd_asm, "report": _cmd_report,
                "chaos": _cmd_chaos, "sweep": _cmd_sweep,
                "frontier": _cmd_frontier, "perf": _cmd_perf,
                "config": _cmd_config, "pack": _cmd_pack,
-               "serve": _cmd_serve}[args.command]
+               "serve": _cmd_serve, "runs": _cmd_runs,
+               "spans": _cmd_spans}[args.command]
     runner = _make_runner(args) \
         if args.command not in ("list", "frontier", "perf", "config",
-                                "pack", "serve") \
+                                "pack", "serve", "runs", "spans") \
         else None
+    import time as _time
+    started_wall = _time.time()
+    started_clock = _time.perf_counter()
+    code = None
     try:
-        return handler(args, runner)
+        code = handler(args, runner)
+        return code
     finally:
         if runner is not None:
             if getattr(args, "profile", False):
@@ -1214,6 +1441,8 @@ def main(argv=None) -> int:
                                    "stage; seconds are wall-clock."))
             if runner.pipeline.trace is not None:
                 runner.pipeline.trace.close()
+        _record_invocation(args, runner, code, started_wall,
+                           _time.perf_counter() - started_clock)
 
 
 if __name__ == "__main__":

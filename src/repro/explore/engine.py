@@ -41,7 +41,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro import runctx
 from repro.explore.analyze import write_artifacts
 from repro.explore.grid import DesignPoint, expand
-from repro.explore.journal import JOURNAL_FILE, SweepJournal, read_journal
+from repro.explore.journal import (
+    JOURNAL_FILE, SweepJournal, read_journal, spec_fingerprint,
+)
+from repro.obs import runindex as obs_runindex
+from repro.obs import spans as obs_spans
 from repro.explore.pack import write_pack
 from repro.explore.spec import SweepSpec
 from repro.pipeline.core import Pipeline
@@ -84,7 +88,14 @@ def warm_point(payload: Dict[str, Any], cache_dir: str,
     apply_unit_faults(faults, payload["label"], attempt, in_worker)
     pipeline = Pipeline(cache_dir=cache_dir, fault_plan=faults,
                         fault_attempt=attempt)
-    _point_artifact(pipeline, payload)
+    if obs_spans.spans_active():
+        # Workers inherit $REPRO_SPANS, so every pool process appends
+        # its point spans to the same timeline as the driver.
+        with obs_spans.span("sweep.point", cat="sweep",
+                            point=payload["label"], attempt=attempt):
+            _point_artifact(pipeline, payload)
+    else:
+        _point_artifact(pipeline, payload)
     return pipeline.telemetry.as_dict()
 
 
@@ -214,9 +225,10 @@ def _terminal_record(payload: Dict[str, Any], run_id: str, outcome,
 
 def _finish(spec: SweepSpec, points, records, report: RunReport,
             out_dir, telemetry: Telemetry, replayed_ok: int,
-            replayed: int, started: float) -> SweepResult:
-    """Counts, artifacts, and the attested pack — shared by both
-    engines."""
+            replayed: int, started: float,
+            cache_dir=None) -> SweepResult:
+    """Counts, artifacts, the attested pack, and the run-index row —
+    shared by both engines."""
     for record in records:
         if record["status"] != "ok":
             report.annotate(f"hole: {record['label']}: {record['error']}")
@@ -240,6 +252,24 @@ def _finish(spec: SweepSpec, points, records, report: RunReport,
         out_dir, spec, records, report.as_dict(), result.simulated,
         result.reused)
     result.artifacts["pack.json"] = write_pack(out_dir)
+    if cache_dir is not None:
+        # One queryable row per sweep, whichever engine (or the serve
+        # service) ran it; a failed index write never fails the sweep.
+        run = runctx.current()
+        obs_runindex.record_run(
+            run.run_id, "sweep",
+            index_path=obs_runindex.default_index_path(cache_dir),
+            label=spec.name, git_sha=run.git_sha,
+            source_digest=run.source_digest,
+            spec_digest=spec_fingerprint(spec),
+            wall_s=result.seconds,
+            outcome="ok" if result.ok else "holes",
+            artifacts={"out_dir": str(result.out_dir)},
+            metrics={"points": len(result.records),
+                     "holes": len(result.holes),
+                     "simulated": result.simulated,
+                     "reused": result.reused,
+                     "replayed": result.replayed})
     return result
 
 
@@ -328,7 +358,8 @@ def run_sweep(spec: SweepSpec, cache_dir, out_dir,
     replayed_ok = sum(1 for label in replayed
                       if records_by_label[label]["status"] == "ok")
     return _finish(spec, points, records, report, out_dir, telemetry,
-                   replayed_ok, len(replayed), started)
+                   replayed_ok, len(replayed), started,
+                   cache_dir=cache_dir)
 
 
 def run_sweep_batched(spec: SweepSpec, cache_dir, out_dir,
@@ -392,7 +423,12 @@ def run_sweep_batched(spec: SweepSpec, cache_dir, out_dir,
             record["run_id"] = run_id
             journal.claim(point.label)
             try:
-                artifact = _point_artifact(pipeline, record)
+                if obs_spans.spans_active():
+                    with obs_spans.span("sweep.point", cat="sweep",
+                                        point=point.label):
+                        artifact = _point_artifact(pipeline, record)
+                else:
+                    artifact = _point_artifact(pipeline, record)
             except Exception as exc:  # a hole, never an aborted sweep
                 report.record_attempt(point.label, exc)
                 outcome = report.resolve(point.label, FAILED)
@@ -420,4 +456,4 @@ def run_sweep_batched(spec: SweepSpec, cache_dir, out_dir,
                       if replayed[label]["status"] == "ok")
     return _finish(spec, points, records, report, out_dir,
                    pipeline.telemetry, replayed_ok, len(replayed),
-                   started)
+                   started, cache_dir=cache_dir)

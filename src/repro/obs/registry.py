@@ -1,0 +1,275 @@
+"""Central metrics registry: counters, gauges, log-bucket histograms.
+
+One :class:`MetricsRegistry` aggregates everything a process counts,
+under one naming scheme and one schema-versioned exposition format.
+Two integration styles, chosen per source by its hot-path budget:
+
+* **Primitives** — ``inc``/``set_gauge``/``observe_ms`` mutate
+  registry-owned values under the registry lock.  Right for sources
+  that already serialize their updates (the serve metrics took a lock
+  per request before the registry existed).
+* **Collectors** — a zero-argument callable returning metric families,
+  sampled only at :meth:`MetricsRegistry.snapshot` time and held by
+  *weak* reference so registration never extends a source's lifetime.
+  Right for hot-path sources: :class:`repro.pipeline.observe.Telemetry`
+  registers itself at construction and pays nothing per record — the
+  registry pulls, it never pushes.
+
+Exposition format (``snapshot()``)::
+
+    {
+      "obs_schema": 1,
+      "generated": <epoch seconds>,
+      "counters":   {"serve.dedup.leaders": 3,
+                     "pipeline.stage.computes{stage=trips-cycles}": 2},
+      "gauges":     {"serve.queue.depth": 0.0},
+      "histograms": {"serve.latency{endpoint=run}": {"count": ..,
+                     "p50_ms": .., "p95_ms": .., "p99_ms": ..,
+                     "buckets": {...}}}
+    }
+
+Metric keys are ``name`` or ``name{k=v,k2=v2}`` with label pairs
+sorted — stable strings consumers can alert on (the key format is the
+contract ``docs/OBSERVABILITY.md`` documents).  Collector families
+merge into the same namespaces; on a key collision between a primitive
+and a collector, counter values add and gauges/histograms prefer the
+primitive (collisions indicate a naming bug, not data loss).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "OBS_SCHEMA_VERSION", "BUCKET_BOUNDS_MS", "LogBucketHistogram",
+    "MetricsRegistry", "count", "default_registry", "format_metric_key",
+]
+
+#: Bump on any change to the exposition document's shape.
+OBS_SCHEMA_VERSION = 1
+
+#: Histogram bucket upper bounds, milliseconds (log-spaced, +inf last).
+#: Shared with the serve latency histograms — one bucketing scheme
+#: everywhere, so percentiles from different subsystems are comparable.
+BUCKET_BOUNDS_MS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+    float("inf"))
+
+
+def format_metric_key(name: str, labels: Optional[Dict[str, object]]
+                      = None) -> str:
+    """``name`` or ``name{k=v,...}`` with label pairs sorted — the
+    stable exposition key for one labeled series."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class LogBucketHistogram:
+    """Fixed log-bucket histogram with percentile estimation.
+
+    Observations fold into :data:`BUCKET_BOUNDS_MS` buckets rather
+    than being kept as samples, so a long-lived process's memory is
+    O(buckets) per series and percentiles are bucket upper-bound
+    estimates — cheap forever, precise to one bucket (the standard
+    always-on trade, cf. Prometheus histograms).
+    """
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * len(BUCKET_BOUNDS_MS)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, ms: float) -> None:
+        for index, bound in enumerate(BUCKET_BOUNDS_MS):
+            if ms <= bound:
+                self.counts[index] += 1
+                break
+        self.total += 1
+        self.sum_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+
+    def percentile(self, quantile: float) -> float:
+        """Upper bound of the bucket containing the ``quantile`` rank
+        (0 with no observations; the last finite bound for +inf).
+
+        Boundary semantics (pinned by tests): the rank is
+        ``quantile * total`` and a bucket satisfies the rank when the
+        cumulative count *reaches* it — so a 2-sample stream puts p50
+        exactly on the first sample's bucket and p95/p99 on the
+        second's.
+        """
+        if not self.total:
+            return 0.0
+        rank = quantile * self.total
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                bound = BUCKET_BOUNDS_MS[index]
+                return bound if bound != float("inf") \
+                    else BUCKET_BOUNDS_MS[-2]
+        return BUCKET_BOUNDS_MS[-2]
+
+    def merge(self, other: "LogBucketHistogram") -> None:
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.total += other.total
+        self.sum_ms += other.sum_ms
+        self.max_ms = max(self.max_ms, other.max_ms)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.total,
+            "sum_ms": round(self.sum_ms, 3),
+            "mean_ms": round(self.sum_ms / self.total, 3)
+            if self.total else 0.0,
+            "max_ms": round(self.max_ms, 3),
+            "p50_ms": self.percentile(0.50),
+            "p95_ms": self.percentile(0.95),
+            "p99_ms": self.percentile(0.99),
+            "buckets": {
+                ("+inf" if bound == float("inf") else f"{bound:g}"): count
+                for bound, count in zip(BUCKET_BOUNDS_MS, self.counts)
+                if count},
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe aggregation point for one process's metrics."""
+
+    def __init__(self, clock: Callable[[], float] = time.time) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, LogBucketHistogram] = {}
+        #: Weak references to collector callables (or to bound-method
+        #: owners via ``weakref.WeakMethod``); dead refs are pruned at
+        #: snapshot time.
+        self._collectors: List[weakref.ref] = []
+
+    # -- primitives --------------------------------------------------------
+
+    def inc(self, name: str, delta: int = 1,
+            labels: Optional[Dict[str, object]] = None) -> int:
+        """Add ``delta`` to a counter; returns the new value."""
+        key = format_metric_key(name, labels)
+        with self._lock:
+            value = self._counters.get(key, 0) + delta
+            self._counters[key] = value
+            return value
+
+    def counter(self, name: str,
+                labels: Optional[Dict[str, object]] = None) -> int:
+        with self._lock:
+            return self._counters.get(format_metric_key(name, labels), 0)
+
+    def declare_counters(self, *names: str) -> None:
+        """Pre-register counters at zero so every documented key is
+        present in every snapshot, observed or not — the stable-key
+        contract monitoring relies on."""
+        with self._lock:
+            for name in names:
+                self._counters.setdefault(name, 0)
+
+    def set_gauge(self, name: str, value: float,
+                  labels: Optional[Dict[str, object]] = None) -> None:
+        with self._lock:
+            self._gauges[format_metric_key(name, labels)] = float(value)
+
+    def observe_ms(self, name: str, ms: float,
+                   labels: Optional[Dict[str, object]] = None) -> None:
+        key = format_metric_key(name, labels)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = LogBucketHistogram()
+            histogram.observe(ms)
+
+    def histogram(self, name: str,
+                  labels: Optional[Dict[str, object]] = None
+                  ) -> Optional[LogBucketHistogram]:
+        with self._lock:
+            return self._histograms.get(format_metric_key(name, labels))
+
+    # -- collectors --------------------------------------------------------
+
+    def register_collector(self, collector) -> None:
+        """Hold ``collector`` weakly; it is called at snapshot time and
+        must return ``(counters, gauges, histograms)`` dicts keyed by
+        exposition keys (any of the three may be empty).  Bound methods
+        are held via :class:`weakref.WeakMethod` so registration never
+        keeps their owner alive.
+        """
+        ref = weakref.WeakMethod(collector) \
+            if hasattr(collector, "__self__") else weakref.ref(collector)
+        with self._lock:
+            self._collectors.append(ref)
+
+    def _collect(self) -> Tuple[Dict[str, int], Dict[str, float],
+                                Dict[str, Dict[str, object]]]:
+        with self._lock:
+            refs = list(self._collectors)
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, object]] = {}
+        live: List[weakref.ref] = []
+        for ref in refs:
+            collector = ref()
+            if collector is None:
+                continue
+            live.append(ref)
+            family_counters, family_gauges, family_histograms = collector()
+            for key, value in family_counters.items():
+                counters[key] = counters.get(key, 0) + value
+            gauges.update(family_gauges)
+            for key, histogram in family_histograms.items():
+                histograms[key] = histogram.as_dict() \
+                    if isinstance(histogram, LogBucketHistogram) \
+                    else histogram
+        with self._lock:
+            self._collectors = live
+        return counters, gauges, histograms
+
+    # -- exposition --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The schema-versioned exposition document (JSON-ready)."""
+        collected, gauges, histograms = self._collect()
+        with self._lock:
+            counters = dict(self._counters)
+            for key, value in collected.items():
+                counters[key] = counters.get(key, 0) + value
+            gauges = {**gauges, **self._gauges}
+            histograms = {**histograms,
+                          **{key: h.as_dict()
+                             for key, h in self._histograms.items()}}
+        return {
+            "obs_schema": OBS_SCHEMA_VERSION,
+            "generated": round(self._clock(), 3),
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+
+#: Process-wide registry: the default sink for sources that do not own
+#: one (pipeline telemetry, the supervisor).  A server owns a private
+#: registry instead, so two services in one test process never mix.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _DEFAULT
+
+
+def count(name: str, delta: int = 1,
+          labels: Optional[Dict[str, object]] = None) -> int:
+    """Increment a counter on the process-wide default registry."""
+    return _DEFAULT.inc(name, delta, labels)

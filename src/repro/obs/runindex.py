@@ -1,0 +1,283 @@
+"""Persisted run index: every run leaves one queryable row.
+
+An SQLite store (by default ``<cache-dir>/index.db``) that pipeline
+runs, sweeps, chaos drills, perf benches, and serve requests append
+to.  One row per run: run id, kind, label, git SHA, source/spec/config
+digests, start time, wall time, outcome, artifact digests, and
+headline metrics — enough to answer "what ran, when, against which
+code, and what came out" without re-opening artifacts.
+
+Design points:
+
+* **Append-mostly, short transactions.**  Writers open, insert, and
+  commit immediately; a 5 s busy timeout keeps concurrent CLI
+  invocations and the serve service from colliding (SQLite serializes
+  writers; our rows are tiny).  The database runs in WAL mode with
+  ``synchronous=NORMAL`` so a commit appends to the write-ahead log
+  without forcing a disk sync — an index row is observability, not
+  the artifact of record, so losing the last instants of history to a
+  power cut is an acceptable trade for never putting an fsync on a
+  request's latency path.  Filesystems that cannot map WAL's shared
+  memory (some network mounts) silently keep the rollback journal.
+* **Schema-versioned.**  ``meta(schema)`` stores
+  :data:`INDEX_SCHEMA_VERSION`; a newer-schema database is refused
+  loudly rather than misread.
+* **Self-contained rows.**  ``artifacts`` and ``metrics`` are JSON
+  text columns — the index never references cache files that
+  compaction may have pruned.
+
+The CLI surfaces this as ``repro runs list|show|query|compact``; the
+serve dashboard renders the most recent rows.
+
+Annotation channel
+------------------
+Command handlers know headline results (a bench median, a sweep's
+point count) but the single ``finally`` block in ``repro.__main__``
+is what writes the row.  :func:`annotate_run` lets any code stash
+fields for the row of the *current* process run;
+:func:`consume_annotations` drains them when the row is written.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["INDEX_FILE", "INDEX_SCHEMA_VERSION", "RunIndex",
+           "annotate_run", "consume_annotations", "default_index_path",
+           "record_run"]
+
+#: File name of the index database inside the cache directory.
+INDEX_FILE = "index.db"
+
+#: Bump on any change to the table layout.
+INDEX_SCHEMA_VERSION = 1
+
+_CREATE = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    rowid_alias   INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id        TEXT NOT NULL,
+    kind          TEXT NOT NULL,
+    label         TEXT NOT NULL DEFAULT '',
+    git_sha       TEXT NOT NULL DEFAULT '',
+    source_digest TEXT NOT NULL DEFAULT '',
+    spec_digest   TEXT NOT NULL DEFAULT '',
+    config_digest TEXT NOT NULL DEFAULT '',
+    started       REAL NOT NULL,
+    wall_s        REAL NOT NULL DEFAULT 0.0,
+    outcome       TEXT NOT NULL DEFAULT 'ok',
+    artifacts     TEXT NOT NULL DEFAULT '{}',
+    metrics       TEXT NOT NULL DEFAULT '{}',
+    recorded      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_run_id  ON runs (run_id);
+CREATE INDEX IF NOT EXISTS idx_runs_kind    ON runs (kind, started);
+CREATE INDEX IF NOT EXISTS idx_runs_started ON runs (started);
+"""
+
+_COLUMNS = ("run_id", "kind", "label", "git_sha", "source_digest",
+            "spec_digest", "config_digest", "started", "wall_s",
+            "outcome", "artifacts", "metrics", "recorded")
+
+
+def default_index_path(cache_dir: Optional[Union[str, Path]] = None
+                       ) -> Path:
+    """``<cache-dir>/index.db`` (the pipeline's default cache dir when
+    none is given)."""
+    if cache_dir is None:
+        from repro.pipeline.store import default_cache_dir
+        cache_dir = default_cache_dir()
+    return Path(cache_dir) / INDEX_FILE
+
+
+class RunIndex:
+    """One SQLite-backed run index (thread-safe, short transactions)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path), timeout=5.0,
+                                     check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            # WAL + NORMAL: commits append to the log without an
+            # fsync (full durability is deferred to checkpoints).  A
+            # filesystem that cannot support WAL reports the mode it
+            # kept instead of raising — accept whatever it gives us.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_CREATE)
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema'").fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema', ?)",
+                    (str(INDEX_SCHEMA_VERSION),))
+                self._conn.commit()
+            elif int(row["value"]) > INDEX_SCHEMA_VERSION:
+                self._conn.close()
+                raise RuntimeError(
+                    f"run index {self.path} has schema {row['value']}, "
+                    f"newer than supported {INDEX_SCHEMA_VERSION}")
+
+    # -- writes ------------------------------------------------------------
+
+    def record(self, run_id: str, kind: str, *, label: str = "",
+               git_sha: str = "", source_digest: str = "",
+               spec_digest: str = "", config_digest: str = "",
+               started: Optional[float] = None, wall_s: float = 0.0,
+               outcome: str = "ok",
+               artifacts: Optional[Dict[str, Any]] = None,
+               metrics: Optional[Dict[str, Any]] = None) -> int:
+        """Append one row; returns its integer id."""
+        now = time.time()
+        values = (run_id, kind, label, git_sha, source_digest,
+                  spec_digest, config_digest,
+                  started if started is not None else now,
+                  float(wall_s), outcome,
+                  json.dumps(artifacts or {}, sort_keys=True, default=repr),
+                  json.dumps(metrics or {}, sort_keys=True, default=repr),
+                  now)
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO runs ({}) VALUES ({})".format(
+                    ", ".join(_COLUMNS),
+                    ", ".join("?" * len(_COLUMNS))), values)
+            self._conn.commit()
+            return int(cursor.lastrowid)
+
+    # -- reads -------------------------------------------------------------
+
+    @staticmethod
+    def _inflate(row: sqlite3.Row) -> Dict[str, Any]:
+        record = {key: row[key] for key in _COLUMNS}
+        record["id"] = row["rowid_alias"]
+        for field in ("artifacts", "metrics"):
+            try:
+                record[field] = json.loads(record[field])
+            except (TypeError, json.JSONDecodeError):
+                record[field] = {}
+        return record
+
+    def query(self, *, kind: Optional[str] = None,
+              run_id: Optional[str] = None,
+              outcome: Optional[str] = None,
+              label_like: Optional[str] = None,
+              since: Optional[float] = None,
+              limit: int = 50) -> List[Dict[str, Any]]:
+        """Most-recent-first rows matching every given filter."""
+        clauses, params = [], []  # type: List[str], List[Any]
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if run_id is not None:
+            clauses.append("run_id = ?")
+            params.append(run_id)
+        if outcome is not None:
+            clauses.append("outcome = ?")
+            params.append(outcome)
+        if label_like is not None:
+            clauses.append("label LIKE ?")
+            params.append(f"%{label_like}%")
+        if since is not None:
+            clauses.append("started >= ?")
+            params.append(float(since))
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        sql = (f"SELECT * FROM runs{where} "
+               f"ORDER BY started DESC, rowid_alias DESC LIMIT ?")
+        params.append(max(1, int(limit)))
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [self._inflate(row) for row in rows]
+
+    def get(self, row_id: int) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE rowid_alias = ?",
+                (int(row_id),)).fetchone()
+        return self._inflate(row) if row is not None else None
+
+    def count(self) -> int:
+        with self._lock:
+            return int(self._conn.execute(
+                "SELECT COUNT(*) FROM runs").fetchone()[0])
+
+    # -- retention ---------------------------------------------------------
+
+    def compact(self, keep: int = 500,
+                max_age_s: Optional[float] = None) -> int:
+        """Drop rows beyond the newest ``keep`` (and older than
+        ``max_age_s`` when given); VACUUMs when anything was dropped.
+        Returns the number of rows removed."""
+        removed = 0
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM runs WHERE rowid_alias NOT IN ("
+                " SELECT rowid_alias FROM runs"
+                " ORDER BY started DESC, rowid_alias DESC LIMIT ?)",
+                (max(0, int(keep)),))
+            removed += cursor.rowcount
+            if max_age_s is not None:
+                cursor = self._conn.execute(
+                    "DELETE FROM runs WHERE started < ?",
+                    (time.time() - float(max_age_s),))
+                removed += cursor.rowcount
+            self._conn.commit()
+            if removed:
+                self._conn.execute("VACUUM")
+        return removed
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def record_run(run_id: str, kind: str,
+               index_path: Optional[Union[str, Path]] = None,
+               **fields: Any) -> Optional[int]:
+    """One-shot append: open, record, close.  Returns the row id, or
+    None if the database is unusable (an index failure must never fail
+    the run it describes)."""
+    try:
+        index = RunIndex(index_path if index_path is not None
+                         else default_index_path())
+    except (sqlite3.Error, RuntimeError, OSError):
+        return None
+    try:
+        return index.record(run_id, kind, **fields)
+    except sqlite3.Error:
+        return None
+    finally:
+        index.close()
+
+
+#: Process-local annotations for the current run's index row (see the
+#: module docstring); guarded because pool callbacks may annotate from
+#: worker-result threads.
+_ANNOTATIONS: Dict[str, Any] = {}
+_ANNOTATIONS_LOCK = threading.Lock()
+
+
+def annotate_run(**fields: Any) -> None:
+    """Stash fields for the row the CLI epilogue will write.  ``label``,
+    ``outcome``, ``spec_digest``, and ``config_digest`` override the
+    row's columns; everything else lands in its ``metrics`` JSON."""
+    with _ANNOTATIONS_LOCK:
+        _ANNOTATIONS.update(fields)
+
+
+def consume_annotations() -> Dict[str, Any]:
+    """Drain and return all stashed annotations."""
+    with _ANNOTATIONS_LOCK:
+        drained = dict(_ANNOTATIONS)
+        _ANNOTATIONS.clear()
+    return drained

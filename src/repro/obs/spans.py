@@ -1,0 +1,238 @@
+"""Cross-subsystem spans: one timed interval per unit of work.
+
+``with span("stage.trips-cycles", cat="pipeline", stage=...)`` wraps
+pipeline stage resolutions, sweep points, supervised unit attempts,
+and serve request handling.  The contract that makes this safe to
+thread through hot paths:
+
+* **Zero overhead when off.**  :func:`span` checks one module global
+  and returns a shared no-op context manager when no recorder is
+  installed — no allocation, no clock read, no I/O.  The ``repro perf``
+  suite's MAD noise guard is the enforcement: span hooks must not move
+  any benchmark median measurably.
+* **One JSONL line per span when on.**  ``{"ts", "dur_ms", "name",
+  "cat", "pid", "tid", "run", "args"}`` — epoch-stamped and
+  pid/tid-attributed, so lines appended by ``--jobs N`` pool workers
+  into one shared file interleave safely (O_APPEND line writes) and
+  still render as one coherent timeline.
+* **Inherited by workers.**  ``repro ... --spans FILE`` exports
+  :data:`ENV_SPANS`, so pool workers forked/spawned later lazily
+  install their own recorder over the same file: a whole
+  ``report all --jobs N`` is one trace.
+
+:func:`export_chrome` converts the JSONL stream to the Chrome
+trace-event format (``ph: "X"`` complete events, microsecond
+timestamps) that ``chrome://tracing`` and Perfetto load directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+__all__ = ["ENV_SPANS", "SpanRecorder", "export_chrome",
+           "install_recorder", "span", "spans_active",
+           "uninstall_recorder"]
+
+#: Environment variable carrying the span sink path across a process
+#: tree (the ``--spans FILE`` CLI option exports it before any pool
+#: worker exists).
+ENV_SPANS = "REPRO_SPANS"
+
+
+class SpanRecorder:
+    """Append-mode JSONL span writer (thread-safe, one line per span)."""
+
+    def __init__(self, destination: Union[str, Path, TextIO]) -> None:
+        self._owned = False
+        if isinstance(destination, (str, Path)):
+            self._fh: TextIO = open(destination, "a", encoding="utf-8")
+            self._owned = True
+        else:
+            self._fh = destination
+        self._lock = threading.Lock()
+        from repro import runctx
+        self._run_id = runctx.current().run_id
+
+    def emit(self, name: str, cat: str, started: float, dur_s: float,
+             args: Optional[Dict[str, Any]] = None) -> None:
+        record = {
+            "ts": round(started, 6),
+            "dur_ms": round(dur_s * 1000.0, 3),
+            "name": name,
+            "cat": cat,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0x7FFFFFFF,
+            "run": self._run_id,
+        }
+        if args:
+            record["args"] = args
+        line = json.dumps(record, default=repr) + "\n"
+        # One write() call per line: POSIX O_APPEND keeps concurrent
+        # writers (pool workers sharing the file) line-atomic.
+        with self._lock:
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owned:
+                self._fh.close()
+
+
+class _NoopSpan:
+    """The shared do-nothing span — what :func:`span` returns when off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def note(self, **args: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live timed span bound to one recorder."""
+
+    __slots__ = ("_recorder", "_name", "_cat", "_args", "_started",
+                 "_clock")
+
+    def __init__(self, recorder: SpanRecorder, name: str, cat: str,
+                 args: Dict[str, Any]) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._started = 0.0
+        self._clock = 0.0
+
+    def note(self, **args: Any) -> None:
+        """Attach attributes discovered mid-span (outcome, digest...)."""
+        self._args.update(args)
+
+    def __enter__(self) -> "_Span":
+        self._started = time.time()
+        self._clock = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._args.setdefault("error", exc_type.__name__)
+        self._recorder.emit(self._name, self._cat, self._started,
+                            time.perf_counter() - self._clock,
+                            self._args or None)
+        return False
+
+
+#: The installed recorder, or None (off).  ``_ENV_CHECKED`` caches the
+#: one-time environment probe so the off path never touches os.environ.
+_RECORDER: Optional[SpanRecorder] = None
+_ENV_CHECKED = False
+_STATE = threading.Lock()
+
+
+def _active_recorder() -> Optional[SpanRecorder]:
+    global _ENV_CHECKED, _RECORDER
+    if _RECORDER is not None:
+        return _RECORDER
+    if _ENV_CHECKED:
+        return None
+    with _STATE:
+        if not _ENV_CHECKED:
+            path = os.environ.get(ENV_SPANS)
+            if path:
+                _RECORDER = SpanRecorder(path)
+            _ENV_CHECKED = True
+    return _RECORDER
+
+
+def spans_active() -> bool:
+    """Whether spans are being recorded in this process."""
+    return _active_recorder() is not None
+
+
+def span(name: str, cat: str = "repro", **args: Any):
+    """A context manager timing one unit of work (no-op when off)."""
+    recorder = _active_recorder()
+    if recorder is None:
+        return _NOOP
+    return _Span(recorder, name, cat, args)
+
+
+def install_recorder(destination: Union[str, Path, TextIO],
+                     export_env: bool = False) -> SpanRecorder:
+    """Install (and return) the process recorder.
+
+    ``export_env=True`` additionally writes :data:`ENV_SPANS` so child
+    processes — pool workers included — append to the same file; only
+    meaningful for a path destination.
+    """
+    global _RECORDER, _ENV_CHECKED
+    with _STATE:
+        if _RECORDER is not None:
+            _RECORDER.close()
+        _RECORDER = SpanRecorder(destination)
+        _ENV_CHECKED = True
+    if export_env and isinstance(destination, (str, Path)):
+        os.environ[ENV_SPANS] = str(destination)
+    return _RECORDER
+
+
+def uninstall_recorder() -> None:
+    """Close and remove the recorder; re-arms the lazy env probe."""
+    global _RECORDER, _ENV_CHECKED
+    with _STATE:
+        if _RECORDER is not None:
+            _RECORDER.close()
+        _RECORDER = None
+        _ENV_CHECKED = False
+    os.environ.pop(ENV_SPANS, None)
+
+
+def export_chrome(source: Union[str, Path], out: Union[str, Path],
+                  ) -> int:
+    """Convert a span JSONL file to a Chrome trace-event JSON file.
+
+    Every span becomes one complete (``ph: "X"``) event with
+    microsecond epoch timestamps; ``chrome://tracing`` and Perfetto
+    normalize the epoch offset on load.  Unparseable lines (a writer
+    killed mid-line) are skipped, not fatal.  Returns the number of
+    events written.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(source, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            args = dict(record.get("args") or {})
+            if record.get("run"):
+                args.setdefault("run", record["run"])
+            events.append({
+                "name": record.get("name", "?"),
+                "cat": record.get("cat", "repro"),
+                "ph": "X",
+                "ts": round(float(record.get("ts", 0.0)) * 1e6, 1),
+                "dur": round(float(record.get("dur_ms", 0.0)) * 1e3, 1),
+                "pid": int(record.get("pid", 0)),
+                "tid": int(record.get("tid", 0)),
+                "args": args,
+            })
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    Path(out).write_text(json.dumps(document) + "\n", encoding="utf-8")
+    return len(events)

@@ -108,8 +108,17 @@ def exit_code(rows: List[CompareRow]) -> int:
 
 
 def render_comparison(rows: List[CompareRow], base_label: str,
-                      new_label: str) -> str:
-    """The comparison as a text table (shared CLI table formatter)."""
+                      new_label: str,
+                      base_run_id: str = "",
+                      new_run_id: str = "") -> str:
+    """The comparison as a text table (shared CLI table formatter).
+
+    When any row warns or regresses, an ``offenders`` block follows the
+    table naming, per offending benchmark, the candidate BENCH file
+    path and both files' run ids — so a CI failure is traceable to the
+    exact run-index rows (``repro runs query --run-id ...``) without
+    opening the artifacts.
+    """
     from repro.eval.report import format_table
 
     table_rows = []
@@ -121,9 +130,21 @@ def render_comparison(rows: List[CompareRow], base_label: str,
             f"{row.delta_pct:+.1f}%" if row.verdict not in (NEW, GONE)
             else "-",
             row.verdict, row.note])
-    return format_table(
+    rendered = format_table(
         f"Host-performance comparison — {base_label} -> {new_label}",
         ["benchmark", "base ms", "new ms", "delta", "verdict", "note"],
         table_rows,
         "medians of calibrated repeats; deltas within the MAD noise "
         "band are ok by construction (docs/PERF.md).")
+    offenders = [row for row in rows
+                 if row.verdict in (WARN, REGRESSION)]
+    if offenders:
+        base_run = base_run_id or "?"
+        new_run = new_run_id or "?"
+        lines = ["", "offenders:"]
+        for row in offenders:
+            lines.append(
+                f"  {row.name}: {row.verdict} in {new_label} "
+                f"(run {new_run}) vs {base_label} (run {base_run})")
+        rendered += "\n".join(lines)
+    return rendered

@@ -57,6 +57,7 @@ from repro.uarch import (
     run_ideal,
 )
 
+from repro.obs import spans as obs_spans
 from repro.pipeline.keys import artifact_digest, config_digest
 from repro.pipeline.observe import (
     COMPUTE, DISK_HIT, MEMORY_HIT, STORE, Telemetry, TraceLog,
@@ -197,10 +198,21 @@ class Pipeline:
 
     def _materialize(self, stage: str, key: Any, compute: Callable[[], Any],
                      persist: bool = False) -> Any:
+        # Span wrap is two-tier so the off path (the perf-guarded hot
+        # cache path) pays one boolean check and no allocation.
+        if obs_spans.spans_active():
+            with obs_spans.span("stage." + stage, cat="pipeline") as live:
+                return self._resolve(stage, key, compute, persist, live)
+        return self._resolve(stage, key, compute, persist, None)
+
+    def _resolve(self, stage: str, key: Any, compute: Callable[[], Any],
+                 persist: bool, live) -> Any:
         digest = artifact_digest(SCHEMA_VERSION, stage, key)
         memory_key = (stage, digest)
         if memory_key in self._memory:
             self._emit(stage, MEMORY_HIT, 0.0, digest, key)
+            if live is not None:
+                live.note(outcome=MEMORY_HIT, digest=digest[:12])
             return self._memory[memory_key]
         if persist and self.store is not None:
             start = time.perf_counter()
@@ -208,11 +220,15 @@ class Pipeline:
             if found:
                 self._emit(stage, DISK_HIT, time.perf_counter() - start,
                            digest, key)
+                if live is not None:
+                    live.note(outcome=DISK_HIT, digest=digest[:12])
                 self._memory[memory_key] = value
                 return value
         start = time.perf_counter()
         value = compute()
         self._emit(stage, COMPUTE, time.perf_counter() - start, digest, key)
+        if live is not None:
+            live.note(outcome=COMPUTE, digest=digest[:12])
         self._memory[memory_key] = value
         if persist and self.store is not None:
             start = time.perf_counter()

@@ -39,6 +39,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro.obs import registry as obs_registry
+from repro.obs import spans as obs_spans
 from repro.robust.errors import StageTimeout, WorkerCrash
 from repro.robust.report import COMPLETED, DEGRADED, FAILED, RETRIED, \
     RunReport
@@ -90,31 +92,41 @@ def supervise_units(units: Sequence[str],
     """
     report = report if report is not None else RunReport()
     policy = policy or RetryPolicy()
+    obs = obs_registry.default_registry()
 
     def succeed(label: str, attempt: int, counters,
                 status: Optional[str] = None) -> None:
         if telemetry is not None and counters:
             telemetry.merge_dict(counters)
-        outcome = report.resolve(
-            label, status or (RETRIED if attempt else COMPLETED),
-            attempts=attempt + 1)
+        status = status or (RETRIED if attempt else COMPLETED)
+        obs.inc(f"supervise.{status}")
+        outcome = report.resolve(label, status, attempts=attempt + 1)
         if on_outcome:
             on_outcome(label, outcome)
         if progress:
             progress(label)
 
     def fail(label: str, attempts: int) -> None:
+        obs.inc(f"supervise.{FAILED}")
         outcome = report.resolve(label, FAILED, attempts=attempts)
         if on_outcome:
             on_outcome(label, outcome)
         if progress:
             progress(label)
 
+    def attempt_inline(label: str, attempt: int):
+        """One in-process try, spanned when spans are on."""
+        if obs_spans.spans_active():
+            with obs_spans.span("supervise.attempt", cat="supervise",
+                                unit=label, attempt=attempt):
+                return run_inline(label, attempt)
+        return run_inline(label, attempt)
+
     def degrade(label: str, attempt: int, error: BaseException) -> None:
         """Pooled attempts exhausted: one in-process serial try."""
         report.record_attempt(label, error)
         try:
-            counters = run_inline(label, attempt + 1)
+            counters = attempt_inline(label, attempt + 1)
         except Exception as exc:
             report.record_attempt(label, exc)
             fail(label, attempts=attempt + 2)
@@ -127,7 +139,7 @@ def supervise_units(units: Sequence[str],
             attempt = 0
             while True:
                 try:
-                    counters = run_inline(label, attempt)
+                    counters = attempt_inline(label, attempt)
                 except Exception as exc:
                     report.record_attempt(label, exc)
                     if attempt + 1 >= policy.max_attempts:

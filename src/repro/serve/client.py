@@ -108,6 +108,27 @@ class ServeClient:
     def metrics(self) -> Dict[str, Any]:
         return self._get_json("/v1/metrics")
 
+    def events(self, cursor: int = 0, timeout: float = 0.0,
+               limit: int = 256) -> Dict[str, Any]:
+        """``GET /v1/events`` — long-poll read of the live event feed.
+
+        Returns ``{"events": [...], "cursor": n, "dropped": n}``; pass
+        the returned cursor back to resume where the last read ended.
+        """
+        return self._get_json(
+            f"/v1/events?cursor={int(cursor)}&timeout={float(timeout)}"
+            f"&limit={int(limit)}")
+
+    def dashboard(self) -> str:
+        """``GET /v1/dashboard`` — the live HTML page, as text."""
+        request = self._request("GET", "/v1/dashboard")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise self._to_error(exc) from None
+
     # -- transport ---------------------------------------------------------
 
     def _request(self, method: str, path: str,

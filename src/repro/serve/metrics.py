@@ -1,12 +1,20 @@
-"""Live service metrics: counters, latency histograms, one snapshot.
+"""Live service metrics, backed by the unified obs registry.
 
 Everything ``GET /v1/metrics`` reports funnels through one
-:class:`ServeMetrics` instance — request counts and latency histograms
-per endpoint, dedup/batch/rate-limit/shed counters, and (joined in by
-the service at snapshot time) the warm pipeline's
-:class:`~repro.pipeline.observe.Telemetry` cache counters.  All
-mutation is lock-guarded: handler threads, batch workers, and the
-drain path record concurrently.
+:class:`ServeMetrics` instance.  Since PR 10 the backing store is a
+private :class:`repro.obs.registry.MetricsRegistry` — the serve
+counters live under ``serve.*`` exposition keys, request latencies are
+``serve.latency{endpoint=...}`` log-bucket histograms, and the warm
+pipeline's :class:`~repro.pipeline.observe.Telemetry` joins the same
+registry as a collector — so the legacy ``/v1/metrics`` document and
+the schema-versioned ``obs`` exposition inside it are two views of one
+store that cannot drift.
+
+Stable counter keys (:data:`STABLE_COUNTERS`) are pre-declared at
+zero, so monitoring can alert on ``serve.shed`` or
+``serve.dedup.shared`` from the first scrape instead of discovering
+keys only after the first shed.  Every exposed key is documented in
+``docs/SERVE.md``.
 
 Latencies are folded into fixed log-spaced millisecond buckets rather
 than kept as samples, so a long-lived server's memory is O(buckets)
@@ -19,146 +27,131 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-__all__ = ["LatencyHistogram", "ServeMetrics"]
+from repro.obs.registry import (
+    BUCKET_BOUNDS_MS, LogBucketHistogram, MetricsRegistry,
+)
 
-#: Histogram bucket upper bounds, milliseconds (log-spaced, +inf last).
-BUCKET_BOUNDS_MS: Tuple[float, ...] = (
-    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
-    float("inf"))
+__all__ = ["LatencyHistogram", "STABLE_COUNTERS", "ServeMetrics"]
 
+#: The historical name, kept importable from :mod:`repro.serve`; the
+#: implementation is the registry's shared log-bucket histogram.
+LatencyHistogram = LogBucketHistogram
 
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with percentile estimation."""
+#: Service counters guaranteed present (at zero) in every snapshot —
+#: the stable-key contract documented in docs/SERVE.md.
+STABLE_COUNTERS: Tuple[str, ...] = (
+    "artifacts", "batch.batches", "batch.requests", "dedup.leaders",
+    "dedup.shared", "rate_limited", "runs.failed", "runs.ok", "shed",
+    "sweeps", "traces",
+)
 
-    def __init__(self) -> None:
-        self.counts: List[int] = [0] * len(BUCKET_BOUNDS_MS)
-        self.total = 0
-        self.sum_ms = 0.0
-        self.max_ms = 0.0
-
-    def observe(self, ms: float) -> None:
-        for index, bound in enumerate(BUCKET_BOUNDS_MS):
-            if ms <= bound:
-                self.counts[index] += 1
-                break
-        self.total += 1
-        self.sum_ms += ms
-        self.max_ms = max(self.max_ms, ms)
-
-    def percentile(self, quantile: float) -> float:
-        """Upper bound of the bucket containing the ``quantile`` rank
-        (0 with no observations; the last finite bound for +inf)."""
-        if not self.total:
-            return 0.0
-        rank = quantile * self.total
-        seen = 0
-        for index, count in enumerate(self.counts):
-            seen += count
-            if seen >= rank and count:
-                bound = BUCKET_BOUNDS_MS[index]
-                return bound if bound != float("inf") \
-                    else BUCKET_BOUNDS_MS[-2]
-        return BUCKET_BOUNDS_MS[-2]
-
-    def as_dict(self) -> Dict[str, object]:
-        return {
-            "count": self.total,
-            "sum_ms": round(self.sum_ms, 3),
-            "mean_ms": round(self.sum_ms / self.total, 3)
-            if self.total else 0.0,
-            "max_ms": round(self.max_ms, 3),
-            "p50_ms": self.percentile(0.50),
-            "p95_ms": self.percentile(0.95),
-            "p99_ms": self.percentile(0.99),
-            "buckets": {
-                ("+inf" if bound == float("inf") else f"{bound:g}"): count
-                for bound, count in zip(BUCKET_BOUNDS_MS, self.counts)
-                if count},
-        }
+#: Exposition-key prefix for everything this class records.
+_PREFIX = "serve."
 
 
 class ServeMetrics:
     """Thread-safe aggregation point for everything the service counts."""
 
-    def __init__(self, clock=time.time) -> None:
+    def __init__(self, clock=time.time,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self._clock = clock
-        self._lock = threading.Lock()
         self.started = clock()
-        #: (endpoint) -> histogram of wall latencies.
-        self._latency: Dict[str, LatencyHistogram] = {}
-        #: (endpoint, status) -> responses sent.
+        #: The backing registry — private per service instance so two
+        #: services in one test process never mix, and exposed so the
+        #: service can join the pipeline telemetry collector and the
+        #: dashboard can snapshot everything at once.
+        self.registry = registry if registry is not None \
+            else MetricsRegistry(clock=clock)
+        self.registry.declare_counters(
+            *(_PREFIX + name for name in STABLE_COUNTERS))
+        self._lock = threading.Lock()
+        #: (endpoint, status) -> responses sent.  A shadow of the
+        #: labeled registry counters, kept so ``snapshot()`` can render
+        #: the legacy per-endpoint document without parsing keys.
         self._responses: Dict[Tuple[str, int], int] = {}
-        #: Free-form event counters (dedup.shared, batch.batches, ...).
-        self._counters: Dict[str, int] = {}
         #: Largest micro-batch executed so far.
         self.max_batch = 0
 
     # -- recording ---------------------------------------------------------
 
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        self.registry.observe_ms(_PREFIX + "latency", seconds * 1000.0,
+                                 {"endpoint": endpoint})
+        self.registry.inc(_PREFIX + "responses", 1,
+                          {"endpoint": endpoint, "status": status})
         with self._lock:
-            histogram = self._latency.setdefault(endpoint,
-                                                 LatencyHistogram())
-            histogram.observe(seconds * 1000.0)
             key = (endpoint, status)
             self._responses[key] = self._responses.get(key, 0) + 1
 
     def count(self, name: str, delta: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + delta
+        self.registry.inc(_PREFIX + name, delta)
 
     def record_batch(self, size: int) -> None:
+        self.registry.inc(_PREFIX + "batch.batches")
+        self.registry.inc(_PREFIX + "batch.requests", size)
         with self._lock:
-            self._counters["batch.batches"] = \
-                self._counters.get("batch.batches", 0) + 1
-            self._counters["batch.requests"] = \
-                self._counters.get("batch.requests", 0) + size
             self.max_batch = max(self.max_batch, size)
+        self.registry.set_gauge(_PREFIX + "max_batch", self.max_batch)
 
     # -- reading -----------------------------------------------------------
 
     def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+        return self.registry.counter(_PREFIX + name)
 
     def snapshot(self, telemetry=None,
                  extra: Optional[Dict[str, object]] = None
                  ) -> Dict[str, object]:
-        """The full ``/v1/metrics`` document (JSON-ready)."""
+        """The full ``/v1/metrics`` document (JSON-ready).
+
+        The legacy sections (``counters`` with bare names,
+        ``endpoints`` keyed by endpoint) are rendered from the registry
+        for compatibility; the complete schema-versioned exposition —
+        serve keys, pipeline stage families from the telemetry
+        collector, latency histograms — rides along under ``obs``.
+        """
+        exposition = self.registry.snapshot()
+        counters = {
+            key[len(_PREFIX):]: value
+            for key, value in exposition["counters"].items()
+            if key.startswith(_PREFIX) and "{" not in key}
         with self._lock:
-            endpoints: Dict[str, Dict[str, object]] = {}
-            for endpoint, histogram in sorted(self._latency.items()):
-                by_status = {
-                    str(status): count
-                    for (ep, status), count in sorted(
-                        self._responses.items())
-                    if ep == endpoint}
-                entry = histogram.as_dict()
-                entry["responses"] = by_status
-                entry["errors"] = sum(
-                    count for (ep, status), count in self._responses.items()
-                    if ep == endpoint and status >= 400)
-                endpoints[endpoint] = entry
-            document: Dict[str, object] = {
-                "started": round(self.started, 3),
-                "uptime_s": round(self._clock() - self.started, 3),
-                "counters": dict(sorted(self._counters.items())),
-                "max_batch": self.max_batch,
-                "endpoints": endpoints,
-            }
+            responses = dict(self._responses)
+            max_batch = self.max_batch
+        endpoints: Dict[str, Dict[str, object]] = {}
+        for endpoint in sorted({ep for ep, _status in responses}):
+            histogram = self.registry.histogram(
+                _PREFIX + "latency", {"endpoint": endpoint})
+            entry: Dict[str, object] = histogram.as_dict() \
+                if histogram is not None else LatencyHistogram().as_dict()
+            entry["responses"] = {
+                str(status): count
+                for (ep, status), count in sorted(responses.items())
+                if ep == endpoint}
+            entry["errors"] = sum(
+                count for (ep, status), count in responses.items()
+                if ep == endpoint and status >= 400)
+            endpoints[endpoint] = entry
+        document: Dict[str, object] = {
+            "started": round(self.started, 3),
+            "uptime_s": round(self._clock() - self.started, 3),
+            "counters": counters,
+            "max_batch": max_batch,
+            "endpoints": endpoints,
+            "obs": exposition,
+        }
         if telemetry is not None:
             cache: Dict[str, object] = {}
             for stage in sorted(telemetry.stages):
-                counters = telemetry.counters(stage)
+                stage_counters = telemetry.counters(stage)
                 cache[stage] = {
-                    "requests": counters.requests,
-                    "memory_hits": counters.memory_hits,
-                    "disk_hits": counters.disk_hits,
-                    "computes": counters.computes,
-                    "hit_rate": round(counters.hit_rate, 4),
-                    "corrupt": counters.corrupt_entries,
+                    "requests": stage_counters.requests,
+                    "memory_hits": stage_counters.memory_hits,
+                    "disk_hits": stage_counters.disk_hits,
+                    "computes": stage_counters.computes,
+                    "hit_rate": round(stage_counters.hit_rate, 4),
+                    "corrupt": stage_counters.corrupt_entries,
                 }
             document["cache"] = cache
         if extra:

@@ -29,6 +29,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro import runctx
+from repro.obs import spans as obs_spans
 from repro.serve.service import HttpError, ServeConfig, SimService
 
 __all__ = ["ReproServer", "make_handler"]
@@ -36,8 +37,13 @@ __all__ = ["ReproServer", "make_handler"]
 #: Largest accepted request body (a sweep spec is a few KiB).
 MAX_BODY_BYTES = 1 << 20
 
-#: Endpoints the rate limiter never throttles.
-UNLIMITED_ENDPOINTS = ("status", "metrics")
+#: Endpoints the rate limiter never throttles — monitoring and the
+#: live views must keep working against an overloaded server.
+UNLIMITED_ENDPOINTS = ("status", "metrics", "events", "dashboard")
+
+#: Longest an SSE events stream stays open before the server closes it
+#: cleanly (clients reconnect with their cursor).
+SSE_MAX_SECONDS = 30.0
 
 
 def make_handler(service: SimService):
@@ -105,6 +111,42 @@ def make_handler(service: SimService):
             self.wfile.write(b"0\r\n\r\n")
             self.wfile.flush()
 
+        def _send_html(self, status: int, body: str) -> None:
+            data = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        # -- server-sent events --------------------------------------------
+
+        def _stream_sse(self, cursor: int, duration: float) -> None:
+            """Push events as SSE frames over chunked encoding until
+            ``duration`` lapses, then close cleanly (the client
+            reconnects with its cursor — standard SSE discipline)."""
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-store")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            deadline = time.monotonic() + duration
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                batch, cursor = service.events.after(
+                    cursor, timeout=min(remaining, 1.0))
+                for event in batch:
+                    frame = (f"id: {event['seq']}\n"
+                             "event: repro\n"
+                             f"data: {json.dumps(event, default=repr)}"
+                             "\n\n").encode("utf-8")
+                    self.wfile.write(f"{len(frame):x}\r\n".encode("ascii"))
+                    self.wfile.write(frame + b"\r\n")
+                    self.wfile.flush()
+            self._end_stream()
+
         # -- dispatch ------------------------------------------------------
 
         def do_GET(self) -> None:
@@ -120,7 +162,8 @@ def make_handler(service: SimService):
                 endpoint, rest = parts[1], parts[2:]
                 allowed = {"run": "POST", "sweep": "POST",
                            "trace": "GET", "artifacts": "GET",
-                           "status": "GET", "metrics": "GET"}
+                           "status": "GET", "metrics": "GET",
+                           "events": "GET", "dashboard": "GET"}
                 if endpoint in allowed:
                     if allowed[endpoint] != method:
                         raise HttpError(
@@ -148,7 +191,13 @@ def make_handler(service: SimService):
                             "client token bucket is empty",
                             retry_after=retry_after)
                 with runctx.scoped():
-                    status = self._handle(endpoint, rest, url)
+                    if obs_spans.spans_active():
+                        with obs_spans.span("serve.request", cat="serve",
+                                            endpoint=endpoint) as live:
+                            status = self._handle(endpoint, rest, url)
+                            live.note(status=status)
+                    else:
+                        status = self._handle(endpoint, rest, url)
             except HttpError as exc:
                 status = exc.status
                 try:
@@ -210,6 +259,35 @@ def make_handler(service: SimService):
                                     "expected /v1/artifacts/<digest>")
                 status, payload = service.handle_artifact(rest[0])
                 self._send_json(status, payload)
+                return status
+            if endpoint == "events":
+                query = parse_qs(url.query)
+
+                def _num(name: str, default: float, cast=float):
+                    try:
+                        return cast(query.get(name, [default])[0])
+                    except (TypeError, ValueError):
+                        raise HttpError(
+                            400, "BadRequest",
+                            f"query parameter {name!r} must be a number"
+                        ) from None
+
+                cursor = _num("cursor", 0, int)
+                accept = self.headers.get("Accept", "")
+                if query.get("stream", [""])[0] == "sse" \
+                        or "text/event-stream" in accept:
+                    self._stream_sse(
+                        cursor, min(SSE_MAX_SECONDS,
+                                    _num("timeout", SSE_MAX_SECONDS)))
+                    return 200
+                status, payload = service.events_payload(
+                    cursor, timeout=_num("timeout", 0.0),
+                    limit=_num("limit", 256, int))
+                self._send_json(status, payload)
+                return status
+            if endpoint == "dashboard":
+                status, page = service.dashboard_payload()
+                self._send_html(status, page)
                 return status
             if endpoint == "status":
                 status, payload = service.status_payload()

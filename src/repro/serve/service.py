@@ -33,6 +33,7 @@ finish and journals close.
 
 from __future__ import annotations
 
+import collections
 import difflib
 import json
 import math
@@ -40,12 +41,15 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro import runctx
 from repro.explore.engine import (
     point_artifact, point_metrics, run_sweep_batched,
 )
+from repro.obs.events import EventBus
+from repro.obs.dashboard import render_dashboard
+from repro.obs.runindex import RunIndex, default_index_path
 from repro.explore.spec import (
     IDEAL_AXES, SpecError, SweepSpec, validate_settings,
 )
@@ -127,6 +131,30 @@ class SimService:
         self.config = config
         self.pipeline = Pipeline(cache_dir=config.cache_dir)
         self.metrics = ServeMetrics()
+        # The warm pipeline's telemetry joins the service registry as a
+        # collector, so /v1/metrics' ``obs`` exposition carries the
+        # pipeline.stage.* families next to the serve.* counters.
+        self.metrics.registry.register_collector(
+            self.pipeline.telemetry.collect_obs)
+        #: Live feed behind ``GET /v1/events`` (sweep progress, request
+        #: outcomes, drain) — bounded, never applies backpressure.
+        self.events = EventBus()
+        #: The persisted run index, shared with the CLI: serve appends
+        #: to the same ``index.db`` in the cache directory, so
+        #: ``repro runs query`` sees service work too.  Rows are
+        #: written by a dedicated polling thread fed through a plain
+        #: deque — the request path pays one lock-free append, never a
+        #: thread wakeup and never an SQLite commit (the
+        #: ``serve-roundtrip`` benchmark is the regression gate for
+        #: that promise).  Rows land within one poll interval, which
+        #: is ample for an observability index.
+        self.index = RunIndex(default_index_path(config.cache_dir))
+        self._index_buffer: Deque[tuple] = collections.deque()
+        self._index_stop = threading.Event()
+        self._index_writer = threading.Thread(
+            target=self._drain_index_queue, daemon=True,
+            name="repro-serve-index")
+        self._index_writer.start()
         self.limiter = RateLimiter(config.rate, config.burst)
         self.table = InFlightTable()
         self.batcher = Batcher(self._execute_group,
@@ -174,11 +202,18 @@ class SimService:
         else:
             clean = False
         self.batcher.stop()
+        self.events.publish("drain", clean=clean)
         snapshot = self.metrics_payload()[1]
         snapshot["drained_clean"] = clean
         path = self.spool / "metrics.json"
         path.write_text(json.dumps(snapshot, indent=2, sort_keys=True,
                                    default=repr) + "\n")
+        # Flush buffered index rows before closing the database: the
+        # stop event makes the writer drain whatever remains and exit,
+        # so a bounded join leaves every row committed in order.
+        self._index_stop.set()
+        self._index_writer.join(timeout=5.0)
+        self.index.close()
         self.drained.set()
         return clean
 
@@ -304,6 +339,43 @@ class SimService:
             self._fault_attempts[digest] = attempt + 1
             return attempt
 
+    def _index_record(self, kind: str, **fields: Any) -> None:
+        """Buffer one run-index row for the writer thread.  The run
+        stamp is captured here (the caller's scoped run id), but the
+        SQLite write happens off the request path — the append does
+        not even wake the writer, which polls on its own clock; an
+        index failure never fails the request it describes."""
+        run = runctx.current()
+        self._index_buffer.append((run.run_id, kind,
+                                   dict(git_sha=run.git_sha,
+                                        source_digest=run.source_digest,
+                                        **fields)))
+
+    def _index_flush(self) -> None:
+        """Commit every buffered index row, tolerating a database that
+        breaks mid-flight.  Safe from any thread: ``deque.popleft`` is
+        atomic, so the poller and an on-demand reader (the dashboard)
+        can race without double-recording a row."""
+        while True:
+            try:
+                run_id, kind, fields = self._index_buffer.popleft()
+            except IndexError:
+                return
+            try:
+                self.index.record(run_id, kind, **fields)
+            except Exception:
+                pass
+
+    def _drain_index_queue(self) -> None:
+        """The index writer loop: wake every 50 ms, commit whatever
+        accumulated.  The stop event triggers one final sweep before
+        exiting, so :meth:`drain` never loses buffered rows."""
+        while True:
+            stopped = self._index_stop.wait(timeout=0.05)
+            self._index_flush()
+            if stopped:
+                return
+
     def _execute_group(self, group: List[WorkItem]) -> None:
         """One coalesced pass: resolve every item of a compatible group
         over the shared warm pipeline (the ``sweep --batch`` sharing
@@ -311,6 +383,7 @@ class SimService:
         self.metrics.record_batch(len(group))
         batched = len(group) > 1
         for item in group:
+            started = time.perf_counter()
             try:
                 if self.config.faults is not None:
                     attempt = self._next_fault_attempt(item.digest)
@@ -321,6 +394,14 @@ class SimService:
                 artifact = point_artifact(self.pipeline, item.payload)
             except Exception as exc:
                 self.metrics.count("runs.failed")
+                self.events.publish("run", benchmark=item.payload[
+                    "benchmark"], outcome="failed",
+                    error=type(exc).__name__)
+                self._index_record(
+                    "serve-run", label=item.payload["benchmark"],
+                    outcome="failed",
+                    wall_s=time.perf_counter() - started,
+                    metrics={"error": type(exc).__name__})
                 self.table.resolve(item.entry, error=exc)
                 continue
             result = dict(item.payload)
@@ -330,6 +411,15 @@ class SimService:
             result["metrics"] = point_metrics(item.payload["system"],
                                               artifact)
             self.metrics.count("runs.ok")
+            self.events.publish("run", benchmark=item.payload["benchmark"],
+                                digest=item.digest[:16], warm=warm,
+                                outcome="ok",
+                                runs_ok=self.metrics.counter("runs.ok"))
+            self._index_record(
+                "serve-run", label=item.payload["benchmark"],
+                wall_s=time.perf_counter() - started,
+                artifacts={"digest": item.digest},
+                metrics={"warm": warm, "batched": batched})
             self.table.resolve(item.entry, result=result)
 
     # -- /v1/sweep ---------------------------------------------------------
@@ -367,8 +457,18 @@ class SimService:
             run_id = runctx.current().run_id
             out_dir = self.spool / "sweeps" / f"{spec.name}-{run_id}"
             self.metrics.count("sweeps")
+            self.events.publish("sweep.start", name=spec.name,
+                                run_id=run_id, points=count)
+            done = 0
 
             def on_point(label: str) -> None:
+                # Published before the sweep's terminal event, so a
+                # long-poll watcher sees live progress mid-sweep.
+                nonlocal done
+                done += 1
+                self.events.publish("sweep.point", name=spec.name,
+                                    run_id=run_id, label=label,
+                                    done=done, points=count)
                 if progress is not None:
                     progress({"event": "point", "label": label})
 
@@ -376,6 +476,11 @@ class SimService:
                 spec, cache_dir=self.pipeline.store.base,
                 out_dir=out_dir, progress=on_point,
                 pipeline=self.pipeline.fork())
+            self.events.publish("sweep.done", name=spec.name,
+                                run_id=run_id, ok=result.ok,
+                                points=len(result.records),
+                                simulated=result.simulated,
+                                reused=result.reused)
             payload = {
                 "name": spec.name,
                 "run_id": run_id,
@@ -488,7 +593,8 @@ class SimService:
             "endpoints": ["POST /v1/run", "POST /v1/sweep",
                           "GET /v1/trace/<bench>",
                           "GET /v1/artifacts/<digest>",
-                          "GET /v1/status", "GET /v1/metrics"],
+                          "GET /v1/status", "GET /v1/metrics",
+                          "GET /v1/events", "GET /v1/dashboard"],
         }
 
     def metrics_payload(self) -> Tuple[int, Dict[str, Any]]:
@@ -496,6 +602,40 @@ class SimService:
             "in_flight": self.in_flight,
             "queue_depth": self.batcher.depth,
             "draining": self.draining,
+            "events": self.events.stats(),
         }
         return 200, self.metrics.snapshot(
             telemetry=self.pipeline.telemetry, extra=extra)
+
+    # -- /v1/events, /v1/dashboard -----------------------------------------
+
+    def events_payload(self, cursor: int = 0, timeout: float = 0.0,
+                       limit: int = 256) -> Tuple[int, Dict[str, Any]]:
+        """Long-poll read of the live event feed.
+
+        Blocks up to ``timeout`` seconds (capped at 30) when nothing is
+        newer than ``cursor``; an empty ``events`` list with the same
+        cursor means "poll again".
+        """
+        batch, next_cursor = self.events.after(
+            max(0, int(cursor)), min(30.0, max(0.0, float(timeout))),
+            limit=limit)
+        return 200, {"events": batch, "cursor": next_cursor,
+                     "dropped": self.events.dropped}
+
+    def dashboard_payload(self, limit: int = 25) -> Tuple[int, str]:
+        """The live HTML dashboard over the run index and registry.
+
+        Flushes the index write buffer first so a run completed
+        microseconds ago is already in the table — the reader pays the
+        commits the request path deferred, which is the right party to
+        charge."""
+        self._index_flush()
+        try:
+            runs = self.index.query(limit=limit)
+        except Exception:
+            runs = []
+        status = self.status_payload()[1]
+        status["inflight"] = status.pop("in_flight", 0)
+        return 200, render_dashboard(
+            runs, self.metrics.registry.snapshot(), status)

@@ -61,6 +61,26 @@ class TestTelemetryMerge:
         assert counters.computes == 0
         assert counters.corrupt_entries == 0
 
+    def test_merge_dict_unknown_and_missing_in_one_payload(self):
+        """The realistic drift case is both at once: a worker from a
+        different version sends a payload that has fields we have never
+        heard of AND lacks fields we expect.  One merge must drop the
+        former, default the latter, and keep what both sides share."""
+        telemetry = Telemetry()
+        telemetry.merge_dict({"stage": {
+            "memory_hits": 2,                     # shared -> kept
+            "a_counter_from_the_future": 9,       # unknown -> dropped
+        }})                                       # computes etc. missing
+        counters = telemetry.counters("stage")
+        assert counters.memory_hits == 2
+        assert counters.computes == 0
+        assert counters.corrupt_entries == 0
+        assert not hasattr(counters, "a_counter_from_the_future")
+        # The merged telemetry still round-trips cleanly.
+        other = Telemetry()
+        other.merge_dict(telemetry.as_dict())
+        assert other.as_dict() == telemetry.as_dict()
+
     def test_merge_dict_empty_and_round_trip_after_drift(self):
         telemetry = Telemetry()
         telemetry.merge_dict({})

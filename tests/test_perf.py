@@ -224,6 +224,39 @@ class TestCompare:
                                 warn_pct=50, fail_pct=100)
         assert exit_code(rows) == EXIT_OK
 
+    def test_offenders_block_names_file_and_run_ids(self):
+        """A failing comparison must be traceable without opening the
+        artifacts: the offenders block names the benchmark, the BENCH
+        file labels, and both run ids."""
+        from repro.perf.compare import render_comparison
+
+        rows = compare_payloads(
+            _payload({"fast": 1.0, "slow": 1.0, "worse": 1.0}),
+            _payload({"fast": 1.0, "slow": 1.15, "worse": 1.4}))
+        rendered = render_comparison(
+            rows, "BENCH_base.json", "BENCH_new.json",
+            base_run_id="base-run", new_run_id="new-run")
+        assert "offenders:" in rendered
+        offenders = rendered.split("offenders:")[1]
+        assert "slow: warn in BENCH_new.json (run new-run) " \
+               "vs BENCH_base.json (run base-run)" in offenders
+        assert "worse: regression in" in offenders
+        assert "fast:" not in offenders
+
+    def test_no_offenders_block_when_clean(self):
+        from repro.perf.compare import render_comparison
+
+        rows = compare_payloads(_payload({"a": 1.0}), _payload({"a": 1.0}))
+        rendered = render_comparison(rows, "base.json", "new.json")
+        assert "offenders:" not in rendered
+
+    def test_offenders_survive_missing_run_ids(self):
+        from repro.perf.compare import render_comparison
+
+        rows = compare_payloads(_payload({"a": 1.0}), _payload({"a": 2.0}))
+        rendered = render_comparison(rows, "base.json", "new.json")
+        assert "(run ?)" in rendered
+
 
 class TestPerfCli:
     def test_list_names_every_benchmark(self, capsys):

@@ -372,6 +372,117 @@ def test_http_unknown_routes_and_methods(server):
     assert getattr(excinfo.value, "code", None) == 404
 
 
+def test_metrics_stable_keys_present_at_zero(tmp_path):
+    """Every documented counter key exists from the first scrape —
+    monitoring never has to special-case 'not seen yet' — and the full
+    registry exposition rides along under ``obs``."""
+    from repro.serve.metrics import STABLE_COUNTERS
+
+    server = ReproServer(_config(tmp_path)).start()
+    try:
+        metrics = ServeClient(server.url).metrics()
+        for key in STABLE_COUNTERS:
+            assert metrics["counters"].get(key) == 0, key
+        obs_doc = metrics["obs"]
+        assert obs_doc["obs_schema"] == 1
+        for key in STABLE_COUNTERS:
+            assert obs_doc["counters"].get("serve." + key) == 0, key
+        assert metrics["events"] == {"published": 0, "buffered": 0,
+                                     "dropped": 0}
+    finally:
+        server.drain(timeout=10.0)
+
+
+def test_http_events_observe_live_sweep_progress(server):
+    """A watcher long-polling ``/v1/events`` sees per-point progress
+    *while the sweep runs* — point events must land before the sweep's
+    terminal event, not be flushed with it."""
+    client = ServeClient(server.url, client_id="sweeper")
+    watcher = ServeClient(server.url, client_id="watcher")
+    done = threading.Event()
+    summary = {}
+
+    def run_sweep():
+        summary["result"] = client.sweep(
+            {"name": "live", "benchmarks": [BENCH],
+             "axes": {"max_blocks_in_flight": [1, 2]}})
+        done.set()
+
+    thread = threading.Thread(target=run_sweep)
+    thread.start()
+    kinds = []
+    cursor = 0
+    for _ in range(200):
+        payload = watcher.events(cursor=cursor, timeout=2.0)
+        cursor = payload["cursor"]
+        kinds.extend(event["kind"] for event in payload["events"])
+        if "sweep.done" in kinds:
+            break
+    thread.join(timeout=30.0)
+    assert summary["result"]["points"] == 2
+    assert "sweep.start" in kinds and "sweep.done" in kinds
+    assert kinds.index("sweep.point") < kinds.index("sweep.done")
+    point = next(event for event in [  # re-read for the payload shape
+        *watcher.events(cursor=0)["events"]]
+        if event["kind"] == "sweep.point")
+    assert point["name"] == "live"
+    assert point["done"] >= 1 and point["points"] == 2
+
+
+def test_http_events_sse_stream_and_bad_params(server):
+    import urllib.request
+
+    client = ServeClient(server.url)
+    client.run(BENCH)                         # publishes a "run" event
+    request = urllib.request.Request(
+        server.url + "/v1/events?stream=sse&timeout=0.2",
+        headers={"Accept": "text/event-stream"})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        assert response.headers["Content-Type"] == "text/event-stream"
+        body = response.read().decode("utf-8")
+    assert "event: repro" in body
+    frame = next(line for line in body.splitlines()
+                 if line.startswith("data: "))
+    event = json.loads(frame[len("data: "):])
+    assert event["kind"] == "run" and event["benchmark"] == BENCH
+    with pytest.raises(ServeError) as excinfo:
+        client._get_json("/v1/events?cursor=abc")
+    assert excinfo.value.status == 400
+
+
+def test_http_dashboard_renders_html(server):
+    client = ServeClient(server.url)
+    client.run(BENCH)
+    page = client.dashboard()
+    assert page.startswith("<!doctype html>")
+    assert "repro dashboard" in page
+    assert BENCH in page                      # the run row made the page
+    assert "serve.responses" in page          # registry counters too
+
+
+def test_serve_requests_land_in_run_index(tmp_path):
+    from repro.obs import RunIndex
+    from repro.obs.runindex import default_index_path
+
+    server = ReproServer(_config(tmp_path)).start()
+    try:
+        client = ServeClient(server.url)
+        client.run(BENCH)
+        client.sweep({"name": "indexed", "benchmarks": [BENCH],
+                      "axes": {"max_blocks_in_flight": [1]}})
+    finally:
+        server.drain(timeout=10.0)
+    index = RunIndex(default_index_path(tmp_path / "cache"))
+    try:
+        runs = index.query(kind="serve-run")
+        assert runs and runs[0]["label"] == BENCH
+        assert runs[0]["outcome"] == "ok"
+        sweeps = index.query(kind="sweep")
+        assert sweeps and sweeps[0]["label"] == "indexed"
+    finally:
+        index.close()
+
+
 def test_drain_writes_snapshot_and_stops_listener(tmp_path):
     server = ReproServer(_config(tmp_path)).start()
     client = ServeClient(server.url)

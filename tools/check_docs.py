@@ -39,7 +39,7 @@ DOC_GLOBS = ("docs/*.md",)
 #: updating this registry is a CI failure, not a silent skip).
 REQUIRED_DOCS = ("docs/TRACE.md", "docs/ROBUSTNESS.md", "docs/SWEEP.md",
                  "docs/PERF.md", "docs/COMPONENTS.md", "docs/KERNELS.md",
-                 "docs/SERVE.md")
+                 "docs/SERVE.md", "docs/OBSERVABILITY.md")
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _INLINE_FLAG = re.compile(r"`(--[A-Za-z][A-Za-z0-9-]*)")

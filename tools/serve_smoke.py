@@ -11,11 +11,16 @@ contract through the bundled client, under a hard wall-clock budget:
    never-before-seen configuration must cost exactly one simulation,
    proven by the pipeline telemetry's compute counters in
    ``/v1/metrics`` (not by timing).
-3. **HTTP sweeps are real sweeps.**  A sweep submitted over HTTP must
-   leave a journal + attested pack that ``repro pack verify`` accepts
-   (exit 0).
+3. **HTTP sweeps are real sweeps, observed live.**  A sweep submitted
+   over HTTP must leave a journal + attested pack that
+   ``repro pack verify`` accepts (exit 0), and a concurrent watcher on
+   ``GET /v1/events`` must see ``sweep.point`` progress *before* the
+   sweep's final record arrives.
 4. **Graceful drain.**  SIGTERM must exit 0 with the final metrics
    snapshot written to the spool.
+5. **Live view.**  ``GET /v1/dashboard`` renders the HTML page with
+   the recent-runs table, and ``/v1/metrics`` carries the unified
+   ``obs`` exposition plus every documented stable counter key.
 
 Exits 0 when every gate holds; prints one ``FAIL:`` line and exits 1
 otherwise.  The metrics snapshot path is printed for artifact upload.
@@ -148,13 +153,46 @@ def main() -> int:
         if len(digests) != 1 or len(bodies) != 1:
             fail("deduped responses disagree", proc)
 
-        # -- gate 3: HTTP sweep -> pack verify exits 0 -----------------
+        # -- gate 3: HTTP sweep -> pack verify exits 0, and a watcher
+        # on /v1/events sees per-point progress BEFORE the sweep's
+        # final record (live observability, not post-hoc flush) -------
         check_deadline("HTTP sweep")
+        watcher = ServeClient(f"http://127.0.0.1:{port}",
+                              client_id="watcher")
+        watched = {"first_point_at": None, "kinds": []}
+        watch_stop = threading.Event()
+
+        def watch_events():
+            cursor = watcher.events()["cursor"]   # skip history
+            while not watch_stop.is_set():
+                payload = watcher.events(cursor=cursor, timeout=2.0)
+                cursor = payload["cursor"]
+                for event in payload["events"]:
+                    watched["kinds"].append(event["kind"])
+                    if event["kind"] == "sweep.point" \
+                            and watched["first_point_at"] is None:
+                        watched["first_point_at"] = time.monotonic()
+
+        watch_thread = threading.Thread(target=watch_events, daemon=True)
+        watch_thread.start()
         summary = client.sweep({
             "name": "smoke", "benchmarks": [BENCH],
             "axes": {"max_blocks_in_flight": [1, 2]}})
+        sweep_done_at = time.monotonic()
+        watch_stop.set()
+        watch_thread.join(timeout=10)
         if not summary["ok"]:
             fail(f"HTTP sweep reported holes: {summary['holes']}", proc)
+        if watched["first_point_at"] is None:
+            fail(f"/v1/events never delivered a sweep.point "
+                 f"(saw {watched['kinds']})", proc)
+        if watched["first_point_at"] >= sweep_done_at:
+            fail("sweep.point arrived only after the sweep's final "
+                 "record — events are not live", proc)
+        print(f"serve smoke: /v1/events saw sweep.point "
+              f"{(sweep_done_at - watched['first_point_at']) * 1000:.0f} "
+              f"ms before the sweep finished "
+              f"(kinds: {sorted(set(watched['kinds']))})")
         verify = subprocess.run(
             [sys.executable, "-m", "repro", "pack", "verify",
              summary["out_dir"]],
@@ -168,6 +206,23 @@ def main() -> int:
         status = client.status()
         if status["draining"] or status["service"] != "repro-serve":
             fail(f"bad status payload: {status}", proc)
+
+        # -- gate 5: dashboard renders, metrics carry the obs doc ------
+        check_deadline("dashboard")
+        page = client.dashboard()
+        if not page.startswith("<!doctype html>"):
+            fail(f"dashboard is not an HTML page: {page[:80]!r}", proc)
+        if BENCH not in page or "Recent runs" not in page:
+            fail("dashboard is missing the recent-runs table", proc)
+        metrics = client.metrics()
+        if metrics.get("obs", {}).get("obs_schema") != 1:
+            fail("metrics payload lacks the obs exposition", proc)
+        for key in ("dedup.leaders", "dedup.shared", "batch.batches",
+                    "batch.requests", "shed"):
+            if key not in metrics["counters"]:
+                fail(f"stable counter key {key} missing from metrics",
+                     proc)
+        print("serve smoke: dashboard + obs exposition OK")
 
         # -- gate 4: graceful SIGTERM drain ----------------------------
         check_deadline("drain")
